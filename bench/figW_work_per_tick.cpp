@@ -1,0 +1,50 @@
+// Reproduces the §V-C collected output the paper describes but does not
+// plot: the work completed per tick over the lifetime of a job, per
+// strategy.  This is the mechanism behind every runtime-factor result —
+// the baseline's throughput collapses once most nodes idle, while the
+// balancing strategies hold throughput near the network capacity until
+// the job drains.
+#include <cstdio>
+
+#include "lb/factory.hpp"
+#include "repro_util.hpp"
+#include "sim/engine.hpp"
+#include "support/env.hpp"
+#include "viz/series.hpp"
+
+int main() {
+  using namespace dhtlb;
+
+  bench::banner("Work per tick (SS V-C output)",
+                "throughput curves per strategy", 1);
+
+  const auto params = bench::paper_defaults(1000, 100'000);
+  const auto seed = support::env_seed();
+
+  std::vector<viz::LabeledSeries> curves;
+  support::TextTable table(
+      {"strategy", "ticks", "mean work/tick", "capacity (= nodes)"});
+  for (const char* strategy :
+       {"none", "churn", "random-injection", "invitation"}) {
+    sim::Params p = params;
+    if (std::string_view(strategy) == "churn") p.churn_rate = 0.01;
+    sim::Engine engine(p, seed, lb::make_strategy(strategy));
+    engine.record_tick_series(true);
+    const auto r = engine.run();
+    table.add_row({strategy, std::to_string(r.ticks),
+                   support::format_fixed(r.avg_work_per_tick, 1),
+                   std::to_string(params.initial_nodes)});
+    curves.push_back({strategy, r.work_per_tick});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  viz::SeriesRenderOptions opts;
+  opts.width = 70;
+  opts.height = 10;
+  std::printf("%s", viz::render_series_comparison(curves, opts).c_str());
+  std::printf(
+      "\nReading guide: 'none' plummets early (idle majority) and limps on\n"
+      "a long tail; the balancing strategies hold throughput near 1000\n"
+      "tasks/tick — that area difference IS the runtime-factor gap.\n");
+  return 0;
+}

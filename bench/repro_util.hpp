@@ -1,0 +1,46 @@
+// Shared plumbing for the paper-reproduction binaries (table*/fig*).
+//
+// Each binary regenerates one table or figure from the paper and prints
+// (a) the paper's reported numbers alongside ours, where the paper gives
+// them, and (b) the same rows/series layout, so shapes are comparable at
+// a glance.  Trial counts default to a laptop-friendly fraction of the
+// paper's 100 and scale up via DHTLB_TRIALS (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "sim/params.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dhtlb::bench {
+
+/// Prints the standard reproduction banner: what is being regenerated
+/// and with how many trials.
+inline void banner(const char* experiment_id, const char* description,
+                   std::size_t trials) {
+  std::printf("=== %s — %s ===\n", experiment_id, description);
+  std::printf("trials per cell: %zu (override with DHTLB_TRIALS), seed %llu\n\n",
+              trials,
+              static_cast<unsigned long long>(support::env_seed()));
+}
+
+/// Base parameter set matching the paper's defaults (§V-B).
+inline sim::Params paper_defaults(std::size_t nodes, std::uint64_t tasks) {
+  sim::Params p;
+  p.initial_nodes = nodes;
+  p.total_tasks = tasks;
+  return p;
+}
+
+/// One mean-runtime-factor cell.
+inline double mean_factor(const sim::Params& params, const char* strategy,
+                          std::size_t trials, support::ThreadPool& pool) {
+  return exp::run_trials(params, strategy, trials, support::env_seed(), &pool)
+      .runtime_factor.mean;
+}
+
+}  // namespace dhtlb::bench

@@ -1,0 +1,70 @@
+// Reproduces the §VI-D Invitation numbers quoted in the text:
+//   * base factor 3.749 on 100 n / 1e5 t vs 5.673 on 1000 n / 1e5 t
+//     (impact "closely tied to network size")
+//   * heterogeneous + strength consumption is worse (paper: 6.097 on
+//     1000 n / 1e5 t)
+//   * invitation balances better than smart neighbor while sending far
+//     fewer messages
+#include <cstdio>
+
+#include "repro_util.hpp"
+#include "stats/load_metrics.hpp"
+
+int main() {
+  using namespace dhtlb;
+
+  const std::size_t trials = support::env_trials(10);
+  bench::banner("Table I' (SS VI-D text)", "invitation strategy", trials);
+
+  support::ThreadPool pool(support::env_threads());
+  support::TextTable table({"configuration", "factor (ours)", "paper says"});
+
+  auto row = [&](sim::Params p, const char* cfg, const char* note) {
+    const auto agg = exp::run_trials(p, "invitation", trials,
+                                     support::env_seed(), &pool);
+    table.add_row({cfg, support::format_fixed(agg.runtime_factor.mean, 3),
+                   note});
+    return agg;
+  };
+
+  const auto small = row(bench::paper_defaults(100, 100'000),
+                         "100 n / 1e5 t", "3.749 base");
+  const auto large = row(bench::paper_defaults(1000, 100'000),
+                         "1000 n / 1e5 t", "5.673 base");
+  sim::Params het = bench::paper_defaults(1000, 100'000);
+  het.heterogeneous = true;
+  het.work_measure = sim::WorkMeasure::kStrengthPerTick;
+  row(het, "het, strength/tick", "6.097 (worse than hom)");
+
+  std::printf("%s\n", table.render().c_str());
+
+  // Balance-vs-traffic comparison against smart neighbor (single run,
+  // matching Figure 14's setting).
+  const auto params = bench::paper_defaults(1000, 100'000);
+  const auto seed = support::env_seed();
+  const auto inv = exp::run_with_snapshots(params, "invitation", seed, {35});
+  const auto smart = exp::run_with_snapshots(params,
+                                             "smart-neighbor-injection",
+                                             seed, {35});
+  std::printf("tick-35 gini: invitation %.3f vs smart %.3f "
+              "(paper: invitation balances better)\n",
+              stats::gini(inv.snapshots[0].workloads),
+              stats::gini(smart.snapshots[0].workloads));
+  std::printf("messages: invitation %llu announcements + %llu placements vs "
+              "smart %llu queries + %llu placements\n",
+              static_cast<unsigned long long>(
+                  inv.strategy_counters.invitations_sent),
+              static_cast<unsigned long long>(
+                  inv.strategy_counters.sybils_created),
+              static_cast<unsigned long long>(
+                  smart.strategy_counters.workload_queries),
+              static_cast<unsigned long long>(
+                  smart.strategy_counters.sybils_created));
+  std::printf("\nshape note: our invitation implements the paper's stated "
+              "mechanism\n(threshold announce + least-loaded predecessor "
+              "splits the heavy arc) and\nbalances more aggressively than "
+              "the paper's reported factors; the\nnetwork-size dependence "
+              "(smaller %.3f vs larger %.3f) is the shape check.\n",
+              small.runtime_factor.mean, large.runtime_factor.mean);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Heterogeneous volunteer-computing cluster — the Folding@Home-style
+// scenario from the paper's introduction: machines of wildly different
+// strength share one job, stronger machines consume more tasks per tick
+// and may run more Sybils.
+//
+// Demonstrates: heterogeneous Params, strength-based work measurement,
+// per-strength runtime contributions, and the paper's finding that
+// balancing gains are smaller (and wide strength disparity hurts).
+//
+// Usage: heterogeneous_cluster [nodes] [tasks]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "lb/factory.hpp"
+#include "sim/engine.hpp"
+#include "stats/load_metrics.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dhtlb;
+
+  sim::Params params;
+  params.initial_nodes =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+  params.total_tasks =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
+  params.heterogeneous = true;
+  params.work_measure = sim::WorkMeasure::kStrengthPerTick;
+  const std::uint64_t seed = support::env_seed();
+
+  std::printf("cluster: %s\n\n", params.describe().c_str());
+
+  // Strength census of this seed's population.
+  {
+    support::Rng probe_rng(seed);
+    const sim::World w(params, probe_rng);
+    std::map<unsigned, int> census;
+    std::uint64_t capacity = 0;
+    for (const auto idx : w.alive_indices()) {
+      ++census[w.physical(idx).strength];
+      capacity += w.work_per_tick(idx);
+    }
+    support::TextTable table({"strength", "machines", "tasks/tick each"});
+    for (const auto& [strength, count] : census) {
+      table.add_row({std::to_string(strength), std::to_string(count),
+                     std::to_string(strength)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("aggregate capacity: %llu tasks/tick -> ideal %llu ticks\n\n",
+                static_cast<unsigned long long>(capacity),
+                static_cast<unsigned long long>(
+                    (params.total_tasks + capacity - 1) / capacity));
+  }
+
+  // Run the job with each strategy and with narrow vs wide strength
+  // disparity (maxSybils 5 vs 10) — the paper's §VI-B.1 finding.
+  support::TextTable results({"strategy", "maxSybils (disparity)",
+                              "ticks", "runtime factor", "final gini"});
+  for (const unsigned disparity : {5u, 10u}) {
+    for (const char* strategy : {"none", "random-injection", "invitation"}) {
+      sim::Params p = params;
+      p.max_sybils = disparity;
+      sim::Engine engine(p, seed, lb::make_strategy(strategy));
+      engine.request_snapshots({35});
+      const auto r = engine.run();
+      const double g = r.snapshots.empty()
+                           ? 0.0
+                           : stats::gini(r.snapshots[0].workloads);
+      results.add_row({strategy, std::to_string(disparity),
+                       std::to_string(r.ticks),
+                       support::format_fixed(r.runtime_factor, 3),
+                       support::format_fixed(g, 3)});
+    }
+  }
+  std::printf("%s\n", results.render().c_str());
+  std::printf(
+      "Expected shape (paper SS VI-B): balancing still helps a heterogeneous\n"
+      "cluster, but less than a homogeneous one, and the wider strength\n"
+      "range (maxSybils 10) is slower than the narrow one.\n");
+  return 0;
+}

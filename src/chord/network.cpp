@@ -1,0 +1,303 @@
+#include "chord/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "support/ring_math.hpp"
+
+namespace dhtlb::chord {
+
+using support::in_half_open_arc;
+using support::in_open_arc;
+
+NodeId Network::create(NodeId id) {
+  if (!nodes_.empty()) {
+    throw std::logic_error("Network::create: ring already exists");
+  }
+  auto node = std::make_unique<ChordNode>(id, successor_list_size_);
+  node->set_successor(id);  // alone: own successor
+  node->set_predecessor(id);
+  nodes_.emplace(id, std::move(node));
+  return id;
+}
+
+bool Network::join(NodeId id, NodeId bootstrap) {
+  if (nodes_.contains(id)) return false;
+  ChordNode* boot = find_alive(bootstrap);
+  if (boot == nullptr) {
+    throw std::invalid_argument("Network::join: dead/unknown bootstrap");
+  }
+  const LookupResult res = lookup(bootstrap, id);
+  auto node = std::make_unique<ChordNode>(id, successor_list_size_);
+  node->set_successor(res.owner);
+  // Predecessor stays unset; the successor learns about us (and we learn
+  // our predecessor) through stabilize/notify, per the protocol.
+  nodes_.emplace(id, std::move(node));
+  return true;
+}
+
+void Network::leave(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  ChordNode& n = *it->second;
+  // Graceful handoff: connect predecessor and successor directly.
+  const NodeId succ = n.successor();
+  const auto pred = n.predecessor();
+  if (succ != id) {
+    if (ChordNode* s = find_alive(succ); s != nullptr) {
+      if (pred && *pred != id) s->set_predecessor(*pred);
+    }
+  }
+  if (pred && *pred != id) {
+    if (ChordNode* p = find_alive(*pred); p != nullptr && succ != id) {
+      p->set_successor(succ);
+    }
+  }
+  nodes_.erase(it);
+  for (auto& [nid, other] : nodes_) other->forget(id);
+  // Note: forget() is bookkeeping on our in-memory ground truth, not a
+  // broadcast; a real deployment heals lazily, which fail() models.
+}
+
+void Network::fail(NodeId id) {
+  nodes_.erase(id);
+  // Nobody is told: peers still hold dangling references and discover the
+  // failure when their RPCs to `id` go unanswered.
+}
+
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+LookupResult Network::lookup(NodeId from, const NodeId& key) {
+  ChordNode* cur = find_alive(from);
+  if (cur == nullptr) {
+    throw std::invalid_argument("Network::lookup: dead/unknown origin");
+  }
+  LookupResult result{from, 0};
+  // Iterative routing, bounded by the ring size as a safety net against
+  // transiently inconsistent pointers during churn.
+  const int hop_limit = static_cast<int>(nodes_.size()) + 2 * 160;
+  NodeId cur_id = from;
+  for (int hop = 0; hop <= hop_limit; ++hop) {
+    auto succ = rpc_get_successor(cur_id);
+    if (!succ) {
+      // Current hop died mid-lookup; restart from the origin's viewpoint
+      // after it repairs (the caller's maintenance will have pruned it).
+      result.owner = true_owner(key);
+      return result;
+    }
+    if (in_half_open_arc(key, cur_id, *succ)) {
+      result.owner = *succ;
+      return result;
+    }
+    auto next = rpc_closest_preceding(cur_id, key);
+    ++result.hops;
+    ++stats_.find_successor;
+    if (!next || *next == cur_id) {
+      // No better route known: hand the key to the successor and let the
+      // next iteration route from there (linear fallback).
+      cur_id = *succ;
+      continue;
+    }
+    cur_id = *next;
+  }
+  // Pointers were too inconsistent to route; report ground truth so
+  // callers can proceed, but this indicates missing stabilization.
+  result.owner = true_owner(key);
+  return result;
+}
+
+void Network::maintenance_round() {
+  // Snapshot IDs first: stabilization never adds nodes, but forget()/
+  // pruning may not invalidate our iteration this way.
+  const std::vector<NodeId> ids = node_ids();
+  for (const auto& id : ids) {
+    ChordNode* n = find_alive(id);
+    if (n == nullptr) continue;
+    check_predecessor(*n);
+    stabilize_node(*n);
+    fix_finger(*n);
+  }
+}
+
+void Network::stabilize(int rounds) {
+  for (int i = 0; i < rounds; ++i) maintenance_round();
+}
+
+void Network::build_all_fingers() {
+  for (auto& [id, node] : nodes_) {
+    for (int f = 0; f < ChordNode::kFingerCount; ++f) {
+      fix_finger(*node);
+    }
+  }
+}
+
+bool Network::ring_consistent() const {
+  if (nodes_.empty()) return true;
+  // Every node's successor must be the next live node clockwise and its
+  // predecessor the previous one.
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    auto next = std::next(it);
+    const NodeId expected_succ =
+        next == nodes_.end() ? nodes_.begin()->first : next->first;
+    if (it->second->successor() != expected_succ) return false;
+    auto prev = it == nodes_.begin() ? std::prev(nodes_.end()) : std::prev(it);
+    if (!it->second->predecessor() ||
+        *it->second->predecessor() != prev->first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NodeId Network::true_owner(const NodeId& key) const {
+  assert(!nodes_.empty());
+  // Owner = first node clockwise at or after the key.
+  auto it = nodes_.lower_bound(key);
+  if (it == nodes_.end()) it = nodes_.begin();
+  return it->first;
+}
+
+ChordNode* Network::find_alive(const NodeId& id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ChordNode* Network::find_alive(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::optional<NodeId> Network::rpc_get_successor(const NodeId& callee) {
+  ++stats_.get_successor_list;
+  const ChordNode* n = find_alive(callee);
+  if (n == nullptr) return std::nullopt;
+  return n->successor();
+}
+
+std::optional<std::optional<NodeId>> Network::rpc_get_predecessor(
+    const NodeId& callee) {
+  ++stats_.get_predecessor;
+  const ChordNode* n = find_alive(callee);
+  if (n == nullptr) return std::nullopt;
+  return n->predecessor();
+}
+
+std::optional<std::vector<NodeId>> Network::rpc_get_successor_list(
+    const NodeId& callee) {
+  ++stats_.get_successor_list;
+  const ChordNode* n = find_alive(callee);
+  if (n == nullptr) return std::nullopt;
+  return n->successor_list();
+}
+
+bool Network::rpc_notify(const NodeId& callee, const NodeId& candidate) {
+  ++stats_.notify;
+  ChordNode* n = find_alive(callee);
+  if (n == nullptr) return false;
+  const auto& pred = n->predecessor();
+  if (!pred || in_open_arc(candidate, *pred, n->id()) ||
+      find_alive(*pred) == nullptr) {
+    n->set_predecessor(candidate);
+  }
+  return true;
+}
+
+bool Network::rpc_ping(const NodeId& callee) {
+  ++stats_.ping;
+  return find_alive(callee) != nullptr;
+}
+
+std::optional<NodeId> Network::rpc_closest_preceding(const NodeId& callee,
+                                                     const NodeId& key) {
+  const ChordNode* n = find_alive(callee);
+  if (n == nullptr) return std::nullopt;
+  // Skip over entries we can locally see are dead — models the callee
+  // retrying its next-best pointer after a timeout.
+  NodeId candidate = n->closest_preceding(key);
+  while (candidate != n->id() && find_alive(candidate) == nullptr) {
+    ++stats_.ping;  // the failed attempt costs a message
+    ChordNode* mut = find_alive(callee);
+    mut->forget(candidate);
+    candidate = mut->closest_preceding(key);
+  }
+  return candidate;
+}
+
+void Network::stabilize_node(ChordNode& n) {
+  // Find the first live successor, pruning dead ones.
+  while (true) {
+    const NodeId succ = n.successor();
+    if (succ == n.id()) break;
+    if (rpc_ping(succ)) break;
+    n.remove_successor(succ);
+    if (n.successor_list().empty()) {
+      // Lost every successor: fall back to self; fingers may still route.
+      n.set_successor(n.id());
+      break;
+    }
+  }
+
+  NodeId succ = n.successor();
+  if (succ == n.id()) {
+    // Pointing at ourselves but maybe not alone: someone who joined
+    // behind us announces itself via notify, so the predecessor is the
+    // first escape hatch; fingers are the fallback.
+    const auto& pred = n.predecessor();
+    if (pred && *pred != n.id() && rpc_ping(*pred)) {
+      n.set_successor(*pred);
+      succ = *pred;
+    } else {
+      for (const auto& finger : n.fingers()) {
+        if (finger && *finger != n.id() && rpc_ping(*finger)) {
+          n.set_successor(*finger);
+          succ = *finger;
+          break;
+        }
+      }
+    }
+    if (succ == n.id()) return;  // genuinely alone; leave state untouched
+  }
+
+  // stabilize(): adopt successor's predecessor if it sits between us.
+  const auto pred_of_succ = rpc_get_predecessor(succ);
+  if (pred_of_succ && *pred_of_succ) {
+    const NodeId x = **pred_of_succ;
+    if (x != n.id() && in_open_arc(x, n.id(), succ) && rpc_ping(x)) {
+      n.set_successor(x);
+      succ = x;
+    }
+  }
+
+  rpc_notify(succ, n.id());
+
+  // Successor-list reconciliation: our list = successor + its list[0..r-2].
+  if (auto list = rpc_get_successor_list(succ)) {
+    std::vector<NodeId> merged;
+    merged.push_back(succ);
+    for (const auto& s : *list) {
+      if (merged.size() >= n.successor_list_capacity()) break;
+      if (s != n.id() && s != succ) merged.push_back(s);
+    }
+    n.set_successor_list(std::move(merged));
+  }
+}
+
+void Network::fix_finger(ChordNode& n) {
+  const int i = n.next_finger_to_fix();
+  const LookupResult res = lookup(n.id(), n.finger_start(i));
+  n.set_finger(i, res.owner);
+}
+
+void Network::check_predecessor(ChordNode& n) {
+  const auto& pred = n.predecessor();
+  if (pred && *pred != n.id() && !rpc_ping(*pred)) {
+    n.set_predecessor(std::nullopt);
+  }
+}
+
+}  // namespace dhtlb::chord

@@ -1,0 +1,128 @@
+// In-memory Chord network: routes RPCs between ChordNodes and counts
+// every message, so protocol costs (lookup hops, join cost, maintenance
+// traffic, Sybil-placement traffic) are measurable.
+//
+// The network is single-threaded and deterministic: "RPCs" are direct
+// calls, but each one increments a per-category message counter.  Node
+// failure is modelled by marking a node dead; subsequent RPCs to it fail
+// and the caller repairs its state exactly as the protocol prescribes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chord/node.hpp"
+#include "support/rng.hpp"
+#include "support/uint160.hpp"
+
+namespace dhtlb::chord {
+
+/// Message-count ledger, one counter per RPC category.
+struct MessageStats {
+  std::uint64_t find_successor = 0;   // lookup routing steps
+  std::uint64_t get_predecessor = 0;  // stabilize probes
+  std::uint64_t get_successor_list = 0;
+  std::uint64_t notify = 0;
+  std::uint64_t ping = 0;  // liveness checks
+  std::uint64_t total() const {
+    return find_successor + get_predecessor + get_successor_list + notify +
+           ping;
+  }
+  void reset() { *this = MessageStats{}; }
+};
+
+/// Result of a lookup: the owner of the key plus the routing cost.
+struct LookupResult {
+  NodeId owner;
+  int hops = 0;  // routing steps taken (0 when the first node owns it)
+};
+
+class Network {
+ public:
+  /// successor_list_size: r in the Chord paper (the tick simulator's
+  /// numSuccessors); also used as the predecessor-awareness depth.
+  explicit Network(std::size_t successor_list_size = 5)
+      : successor_list_size_(successor_list_size) {}
+
+  // --- membership --------------------------------------------------------
+
+  /// Creates the first node of a fresh ring.  Precondition: empty network.
+  NodeId create(NodeId id);
+
+  /// Joins a node via `bootstrap` (must be alive): one lookup to find the
+  /// successor, then the background stabilization integrates it.
+  /// Returns false if `id` is already present.
+  bool join(NodeId id, NodeId bootstrap);
+
+  /// Graceful departure: transfers pointers so neighbors heal instantly.
+  void leave(NodeId id);
+
+  /// Abrupt failure: the node just stops answering; peers discover the
+  /// failure through pings/RPC errors during maintenance.
+  void fail(NodeId id);
+
+  bool contains(NodeId id) const { return nodes_.contains(id); }
+  std::size_t size() const { return nodes_.size(); }
+  std::vector<NodeId> node_ids() const;
+
+  // --- protocol ----------------------------------------------------------
+
+  /// Iterative lookup for `key` starting at `from`.  Counts one
+  /// find_successor message per routing step.
+  LookupResult lookup(NodeId from, const NodeId& key);
+
+  /// Runs one maintenance round (stabilize + fix one finger +
+  /// check predecessor) on every live node, in ring order.
+  void maintenance_round();
+
+  /// Runs `rounds` maintenance rounds.
+  void stabilize(int rounds);
+
+  /// Fully populates every node's finger table (kFingerCount rounds of
+  /// fix_fingers compressed into one call; costs the same messages).
+  void build_all_fingers();
+
+  // --- inspection ---------------------------------------------------------
+
+  const ChordNode& node(NodeId id) const { return *nodes_.at(id); }
+  MessageStats& stats() { return stats_; }
+  const MessageStats& stats() const { return stats_; }
+
+  /// True iff successor/predecessor pointers form one consistent cycle
+  /// covering every live node — the Chord correctness invariant.
+  bool ring_consistent() const;
+
+  /// The live node owning `key` according to ground truth (the sorted
+  /// node set), for validating lookups against.
+  NodeId true_owner(const NodeId& key) const;
+
+ private:
+  ChordNode* find_alive(const NodeId& id);
+  const ChordNode* find_alive(const NodeId& id) const;
+
+  // RPC wrappers; each counts a message and returns nullopt if the callee
+  // is dead.
+  std::optional<NodeId> rpc_get_successor(const NodeId& callee);
+  std::optional<std::optional<NodeId>> rpc_get_predecessor(
+      const NodeId& callee);
+  std::optional<std::vector<NodeId>> rpc_get_successor_list(
+      const NodeId& callee);
+  bool rpc_notify(const NodeId& callee, const NodeId& candidate);
+  bool rpc_ping(const NodeId& callee);
+  std::optional<NodeId> rpc_closest_preceding(const NodeId& callee,
+                                              const NodeId& key);
+
+  void stabilize_node(ChordNode& n);
+  void fix_finger(ChordNode& n);
+  void check_predecessor(ChordNode& n);
+
+  std::map<NodeId, std::unique_ptr<ChordNode>> nodes_;
+  std::size_t successor_list_size_;
+  MessageStats stats_;
+};
+
+}  // namespace dhtlb::chord

@@ -1,0 +1,66 @@
+#include "chord/node.hpp"
+
+#include <algorithm>
+
+#include "support/ring_math.hpp"
+
+namespace dhtlb::chord {
+
+void ChordNode::set_successor_list(std::vector<NodeId> list) {
+  if (list.size() > successor_list_size_) {
+    list.resize(successor_list_size_);
+  }
+  successors_ = std::move(list);
+}
+
+void ChordNode::set_successor(NodeId s) {
+  if (successors_.empty()) {
+    successors_.push_back(s);
+    return;
+  }
+  if (successors_.front() == s) return;
+  successors_.insert(successors_.begin(), s);
+  // Deduplicate while preserving order, then trim to capacity.
+  std::vector<NodeId> unique;
+  unique.reserve(successors_.size());
+  for (const auto& candidate : successors_) {
+    if (std::find(unique.begin(), unique.end(), candidate) == unique.end()) {
+      unique.push_back(candidate);
+    }
+  }
+  if (unique.size() > successor_list_size_) {
+    unique.resize(successor_list_size_);
+  }
+  successors_ = std::move(unique);
+}
+
+void ChordNode::remove_successor(const NodeId& failed) {
+  std::erase(successors_, failed);
+}
+
+NodeId ChordNode::closest_preceding(const NodeId& key) const {
+  // Walk fingers from farthest to nearest, per the Chord pseudocode; the
+  // first finger inside (id, key) is the biggest safe jump.
+  for (int i = kFingerCount - 1; i >= 0; --i) {
+    const auto& finger = fingers_[static_cast<std::size_t>(i)];
+    if (finger && support::in_open_arc(*finger, id_, key)) {
+      return *finger;
+    }
+  }
+  // Fall back to the successor list (useful right after join, before the
+  // finger table converges).
+  for (auto it = successors_.rbegin(); it != successors_.rend(); ++it) {
+    if (support::in_open_arc(*it, id_, key)) return *it;
+  }
+  return id_;
+}
+
+void ChordNode::forget(const NodeId& failed) {
+  if (predecessor_ == failed) predecessor_.reset();
+  remove_successor(failed);
+  for (auto& finger : fingers_) {
+    if (finger == failed) finger.reset();
+  }
+}
+
+}  // namespace dhtlb::chord

@@ -1,0 +1,94 @@
+// A single Chord node's protocol state (Stoica et al., SIGCOMM 2001).
+//
+// This is the real protocol — 160-entry finger table, successor list,
+// predecessor pointer, and the periodic stabilize / notify / fix-fingers
+// / check-predecessor routines — not the idealized ring the tick
+// simulator uses.  The substrate exists to (a) validate the paper's
+// assumption that Sybil placement and lookups are cheap (O(log n) hops),
+// and (b) measure the *message* cost of each balancing strategy, which
+// the paper discusses qualitatively ("neighbor injection requires fewer
+// messages", "invitation greatly reduces maintenance costs").
+//
+// Nodes communicate only through chord::Network, which routes RPCs and
+// counts every message.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/uint160.hpp"
+
+namespace dhtlb::chord {
+
+using NodeId = support::Uint160;
+
+/// Protocol state of one Chord node.  All mutation goes through
+/// chord::Network so message costs are observable; this class is a plain
+/// data holder plus local (no-RPC) helpers.
+class ChordNode {
+ public:
+  static constexpr int kFingerCount = support::Uint160::kBits;
+
+  ChordNode(NodeId id, std::size_t successor_list_size)
+      : id_(id), successor_list_size_(successor_list_size) {}
+
+  const NodeId& id() const { return id_; }
+
+  const std::optional<NodeId>& predecessor() const { return predecessor_; }
+  void set_predecessor(std::optional<NodeId> p) { predecessor_ = std::move(p); }
+
+  /// First live successor; the node itself when it is alone in the ring.
+  NodeId successor() const {
+    return successors_.empty() ? id_ : successors_.front();
+  }
+
+  const std::vector<NodeId>& successor_list() const { return successors_; }
+  void set_successor_list(std::vector<NodeId> list);
+  std::size_t successor_list_capacity() const { return successor_list_size_; }
+
+  /// Replaces the primary successor, keeping the rest of the list.
+  void set_successor(NodeId s);
+
+  /// Drops a failed node from the successor list (no-op if absent).
+  void remove_successor(const NodeId& failed);
+
+  const std::array<std::optional<NodeId>, kFingerCount>& fingers() const {
+    return fingers_;
+  }
+  void set_finger(int i, std::optional<NodeId> target) {
+    fingers_[static_cast<std::size_t>(i)] = std::move(target);
+  }
+
+  /// Start of the i-th finger interval: id + 2^i (mod 2^160).
+  NodeId finger_start(int i) const {
+    return id_ + support::Uint160::pow2(i);
+  }
+
+  /// Index of the finger to refresh next; cycles through the table one
+  /// entry per maintenance round, as in the Chord paper's fix_fingers.
+  int next_finger_to_fix() {
+    const int i = next_finger_;
+    next_finger_ = (next_finger_ + 1) % kFingerCount;
+    return i;
+  }
+
+  /// Local-state-only search for the closest node preceding `key`:
+  /// scans fingers (then the successor list) for the highest-known node
+  /// in (id, key).  Returns id_ when nothing closer is known.
+  NodeId closest_preceding(const NodeId& key) const;
+
+  /// Clears any state that referenced a failed peer.
+  void forget(const NodeId& failed);
+
+ private:
+  NodeId id_;
+  std::optional<NodeId> predecessor_;
+  std::vector<NodeId> successors_;  // ordered, nearest first
+  std::size_t successor_list_size_;
+  std::array<std::optional<NodeId>, kFingerCount> fingers_{};
+  int next_finger_ = 0;
+};
+
+}  // namespace dhtlb::chord

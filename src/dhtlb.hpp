@@ -1,0 +1,49 @@
+// Umbrella header: the full public API of the dhtlb library.
+//
+// Fine-grained headers remain the preferred includes for library code;
+// this header exists for quick experiments and example snippets.
+#pragma once
+
+// 160-bit ring arithmetic, RNG, utilities.
+#include "support/cli.hpp"        // IWYU pragma: export
+#include "support/env.hpp"        // IWYU pragma: export
+#include "support/ring_math.hpp"  // IWYU pragma: export
+#include "support/rng.hpp"        // IWYU pragma: export
+#include "support/table.hpp"      // IWYU pragma: export
+#include "support/thread_pool.hpp"  // IWYU pragma: export
+#include "support/uint160.hpp"    // IWYU pragma: export
+
+// SHA-1 and ring key generation.
+#include "hashing/sha1.hpp"  // IWYU pragma: export
+
+// Statistics and distribution diagnostics.
+#include "stats/descriptive.hpp"       // IWYU pragma: export
+#include "stats/distribution_fit.hpp"  // IWYU pragma: export
+#include "stats/histogram.hpp"         // IWYU pragma: export
+#include "stats/load_metrics.hpp"      // IWYU pragma: export
+
+// Chord protocol substrate.
+#include "chord/compute.hpp"          // IWYU pragma: export
+#include "chord/network.hpp"          // IWYU pragma: export
+#include "chord/node.hpp"             // IWYU pragma: export
+#include "chord/sybil_placement.hpp"  // IWYU pragma: export
+
+// Tick simulator.
+#include "sim/backup.hpp"    // IWYU pragma: export
+#include "sim/engine.hpp"    // IWYU pragma: export
+#include "sim/params.hpp"    // IWYU pragma: export
+#include "sim/snapshot.hpp"  // IWYU pragma: export
+#include "sim/strategy.hpp"  // IWYU pragma: export
+#include "sim/world.hpp"     // IWYU pragma: export
+
+// Load-balancing strategies (the paper's four + extensions).
+#include "lb/factory.hpp"  // IWYU pragma: export
+
+// Experiments and reporting.
+#include "exp/experiment.hpp"  // IWYU pragma: export
+#include "exp/report.hpp"      // IWYU pragma: export
+
+// Visualization.
+#include "viz/ascii_hist.hpp"   // IWYU pragma: export
+#include "viz/ring_layout.hpp"  // IWYU pragma: export
+#include "viz/series.hpp"       // IWYU pragma: export

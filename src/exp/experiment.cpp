@@ -1,0 +1,87 @@
+#include "exp/experiment.hpp"
+
+#include <mutex>
+
+#include "lb/factory.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::exp {
+
+Aggregate run_trials(const sim::Params& params, std::string_view strategy_name,
+                     std::size_t trials, std::uint64_t base_seed,
+                     support::ThreadPool* pool) {
+  std::vector<sim::RunResult> results(trials);
+  auto run_one = [&](std::size_t i) {
+    sim::Engine engine(params, support::mix_seed(base_seed, i),
+                       lb::make_strategy(strategy_name));
+    results[i] = engine.run();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(trials, run_one);
+  } else {
+    for (std::size_t i = 0; i < trials; ++i) run_one(i);
+  }
+
+  Aggregate agg;
+  agg.strategy = std::string(strategy_name);
+  agg.params = params;
+  agg.trials = trials;
+
+  std::vector<double> factors;
+  std::vector<double> ticks;
+  factors.reserve(trials);
+  ticks.reserve(trials);
+  std::size_t completed = 0;
+  for (const auto& r : results) {
+    factors.push_back(r.runtime_factor);
+    ticks.push_back(static_cast<double>(r.ticks));
+    if (r.completed) ++completed;
+    agg.mean_joins += static_cast<double>(r.joins);
+    agg.mean_leaves += static_cast<double>(r.leaves);
+    const auto& c = r.strategy_counters;
+    agg.mean_sybils_created += static_cast<double>(c.sybils_created);
+    agg.mean_sybils_retired += static_cast<double>(c.sybils_retired);
+    agg.mean_failed_placements += static_cast<double>(c.failed_placements);
+    agg.mean_workload_queries += static_cast<double>(c.workload_queries);
+    agg.mean_invitations_sent += static_cast<double>(c.invitations_sent);
+    agg.mean_invitations_accepted +=
+        static_cast<double>(c.invitations_accepted);
+  }
+  agg.runtime_factor = stats::summarize(factors);
+  agg.ticks = stats::summarize(ticks);
+  if (trials > 0) {
+    const auto n = static_cast<double>(trials);
+    agg.completion_rate = static_cast<double>(completed) / n;
+    agg.mean_joins /= n;
+    agg.mean_leaves /= n;
+    agg.mean_sybils_created /= n;
+    agg.mean_sybils_retired /= n;
+    agg.mean_failed_placements /= n;
+    agg.mean_workload_queries /= n;
+    agg.mean_invitations_sent /= n;
+    agg.mean_invitations_accepted /= n;
+  }
+  return agg;
+}
+
+sim::RunResult run_with_snapshots(const sim::Params& params,
+                                  std::string_view strategy_name,
+                                  std::uint64_t seed,
+                                  std::vector<std::uint64_t> snapshot_ticks) {
+  sim::Engine engine(params, seed, lb::make_strategy(strategy_name));
+  engine.request_snapshots(std::move(snapshot_ticks));
+  return engine.run();
+}
+
+std::vector<std::uint64_t> initial_workloads(std::size_t nodes,
+                                             std::uint64_t tasks,
+                                             std::uint64_t seed) {
+  sim::Params params;
+  params.initial_nodes = nodes;
+  params.total_tasks = tasks;
+  support::Rng rng(seed);
+  const sim::World world(params, rng);
+  return world.alive_workloads();
+}
+
+}  // namespace dhtlb::exp

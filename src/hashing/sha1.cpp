@@ -1,0 +1,159 @@
+#include "hashing/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dhtlb::hashing {
+
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  // Top up a partially filled block first.
+  if (buffered_ != 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  // Whole blocks straight from the input.
+  while (data.size() - offset >= 64) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  // Stash the tail.
+  const std::size_t tail = data.size() - offset;
+  if (tail != 0) {
+    std::memcpy(buffer_.data(), data.data() + offset, tail);
+    buffered_ = tail;
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(std::span(&pad_byte, 1));
+  total_bytes_ -= 1;  // padding is not message content
+  static constexpr std::uint8_t kZeros[64] = {};
+  while (buffered_ != 56) {
+    const std::size_t need = buffered_ < 56 ? 56 - buffered_ : 64 - buffered_;
+    update(std::span(kZeros, need));
+    total_bytes_ -= need;
+  }
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span(len_bytes, 8));
+
+  Digest digest{};
+  for (int i = 0; i < 5; ++i) {
+    const std::uint32_t word = state_[static_cast<std::size_t>(i)];
+    digest[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(word >> 24);
+    digest[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(word >> 16);
+    digest[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(word >> 8);
+    digest[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(word);
+  }
+  return digest;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + w[t] + k;
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Sha1::Digest Sha1::hash(std::string_view data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+support::Uint160 Sha1::hash_u64(std::uint64_t value) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return support::Uint160::from_bytes(hash(std::span(bytes, 8)));
+}
+
+support::Uint160 Sha1::hash_to_ring(std::string_view text) {
+  return support::Uint160::from_bytes(hash(text));
+}
+
+std::string Sha1::to_hex(const Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(40, '0');
+  for (std::size_t i = 0; i < digest.size(); ++i) {
+    out[2 * i] = kHex[digest[i] >> 4];
+    out[2 * i + 1] = kHex[digest[i] & 0xF];
+  }
+  return out;
+}
+
+}  // namespace dhtlb::hashing

@@ -1,0 +1,47 @@
+// Chosen-ID balancing — the paper's second future-work direction.
+//
+// §VII: "if we removed the assumption that nodes cannot choose their own
+// ID or those of their Sybil, this presents even more strategies."  This
+// strategy exploits exactly that relaxation: instead of hashing for an
+// ID that merely lands *somewhere* in a target arc, the node asks the
+// target for the MEDIAN KEY of its remaining tasks and adopts that key
+// as its Sybil ID — splitting the target's *key multiset* exactly in
+// half regardless of how the keys cluster inside the arc.
+//
+// This is the upper bound for any single-split placement policy: a
+// uniform or midpoint placement halves keys only in expectation, while
+// the median split halves them exactly.  Comparing it against Random /
+// Neighbor Injection quantifies how much of the remaining gap to the
+// ideal runtime is attributable to the no-ID-choice assumption.
+//
+// Cost model: one extra query to the target (its median key), counted in
+// workload_queries like the smart-neighbor probes.
+#pragma once
+
+#include "lb/common.hpp"
+#include "sim/strategy.hpp"
+
+namespace dhtlb::lb {
+
+class ChosenIdSplit final : public sim::Strategy {
+ public:
+  /// scope selects where the node searches for a victim:
+  /// successors-only (the neighbor-injection information model) or the
+  /// global ring (an idealized gossip/sampling model).
+  enum class Scope { kNeighborhood, kGlobal };
+
+  explicit ChosenIdSplit(Scope scope) : scope_(scope) {}
+
+  std::string_view name() const override {
+    return scope_ == Scope::kNeighborhood ? "chosen-id-neighbor"
+                                          : "chosen-id-global";
+  }
+
+  void decide(sim::World& world, support::Rng& rng,
+              sim::StrategyCounters& counters) override;
+
+ private:
+  Scope scope_;
+};
+
+}  // namespace dhtlb::lb

@@ -1,0 +1,40 @@
+#include "lb/common.hpp"
+
+#include <algorithm>
+
+namespace dhtlb::lb {
+
+std::uint64_t retire_idle_sybils(sim::World& world, sim::NodeIndex idx,
+                                 sim::StrategyCounters& counters) {
+  const std::uint64_t sybils = world.sybil_count(idx);
+  if (sybils == 0 || world.workload(idx) != 0) return 0;
+  world.remove_sybils(idx);
+  counters.sybils_retired += sybils;
+  return sybils;
+}
+
+bool may_create_sybil(const sim::World& world, sim::NodeIndex idx) {
+  return world.workload(idx) <= world.params().sybil_threshold &&
+         world.sybil_count(idx) < world.sybil_cap(idx);
+}
+
+void record_placement(std::uint64_t acquired,
+                      sim::StrategyCounters& counters) {
+  ++counters.sybils_created;
+  counters.tasks_acquired_by_sybils += acquired;
+  if (acquired == 0) ++counters.failed_placements;
+}
+
+std::vector<sim::NodeIndex> shuffled_alive(const sim::World& world,
+                                           support::Rng& rng) {
+  std::vector<sim::NodeIndex> order = world.alive_indices();
+  // Fisher-Yates with the simulation's own RNG (std::shuffle's output is
+  // implementation-defined, which would break cross-platform determinism).
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace dhtlb::lb

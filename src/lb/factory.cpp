@@ -1,0 +1,52 @@
+#include "lb/factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "lb/chosen_id.hpp"
+#include "lb/invitation.hpp"
+#include "lb/neighbor_injection.hpp"
+#include "lb/random_injection.hpp"
+#include "lb/strength_aware.hpp"
+
+namespace dhtlb::lb {
+
+std::unique_ptr<sim::Strategy> make_strategy(std::string_view name) {
+  if (name == "none" || name == "churn") return nullptr;
+  if (name == "random-injection") {
+    return std::make_unique<RandomInjection>();
+  }
+  if (name == "neighbor-injection") {
+    return std::make_unique<NeighborInjection>(
+        NeighborInjection::Mode::kEstimate);
+  }
+  if (name == "smart-neighbor-injection") {
+    return std::make_unique<NeighborInjection>(
+        NeighborInjection::Mode::kSmart);
+  }
+  if (name == "invitation") return std::make_unique<Invitation>();
+  // Future-work extensions (paper §VII), not part of the original four:
+  if (name == "strength-aware") return std::make_unique<StrengthAware>();
+  if (name == "chosen-id-neighbor") {
+    return std::make_unique<ChosenIdSplit>(ChosenIdSplit::Scope::kNeighborhood);
+  }
+  if (name == "chosen-id-global") {
+    return std::make_unique<ChosenIdSplit>(ChosenIdSplit::Scope::kGlobal);
+  }
+  throw std::invalid_argument("unknown strategy: " + std::string(name));
+}
+
+std::vector<std::string_view> strategy_names() {
+  return {"none",
+          "churn",
+          "random-injection",
+          "neighbor-injection",
+          "smart-neighbor-injection",
+          "invitation"};
+}
+
+std::vector<std::string_view> extension_strategy_names() {
+  return {"strength-aware", "chosen-id-neighbor", "chosen-id-global"};
+}
+
+}  // namespace dhtlb::lb

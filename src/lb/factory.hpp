@@ -1,0 +1,35 @@
+// Strategy factory: name-keyed construction for the experiment harness,
+// benches, and examples.
+//
+// Names match the paper's vocabulary:
+//   "none"                      baseline, no balancing (§VI preamble)
+//   "churn"                     Induced Churn — returns no Sybil policy;
+//                               set Params::churn_rate > 0 (§IV-A)
+//   "random-injection"          §IV-B
+//   "neighbor-injection"        §IV-C, estimating variant
+//   "smart-neighbor-injection"  §IV-C, querying variant
+//   "invitation"                §IV-D
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/strategy.hpp"
+
+namespace dhtlb::lb {
+
+/// Builds a strategy by name; "none" and "churn" yield nullptr (the
+/// engine treats a null strategy as "no Sybil policy").  Throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<sim::Strategy> make_strategy(std::string_view name);
+
+/// All strategy names accepted by make_strategy, in paper order.
+std::vector<std::string_view> strategy_names();
+
+/// Future-work extensions (§VII): "strength-aware" (strength as a
+/// factor in acquisition) and "chosen-id-neighbor"/"chosen-id-global"
+/// (nodes may pick Sybil IDs, enabling exact median splits).
+std::vector<std::string_view> extension_strategy_names();
+
+}  // namespace dhtlb::lb

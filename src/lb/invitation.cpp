@@ -1,0 +1,64 @@
+#include "lb/invitation.hpp"
+
+#include <optional>
+
+#include "support/ring_math.hpp"
+
+namespace dhtlb::lb {
+
+void Invitation::decide(sim::World& world, support::Rng& rng,
+                        sim::StrategyCounters& counters) {
+  const std::uint64_t threshold = world.params().sybil_threshold;
+  for (const sim::NodeIndex idx : shuffled_alive(world, rng)) {
+    retire_idle_sybils(world, idx, counters);
+    if (world.workload(idx) <= threshold) continue;  // not overburdened
+
+    // Find the announcer's most-loaded vnode: that is the arc worth
+    // splitting (purely local information).
+    const auto& vnode_ids = world.physical(idx).vnode_ids;
+    std::optional<sim::ArcView> heavy;
+    for (const auto& vid : vnode_ids) {
+      const sim::ArcView arc = world.arc_of(vid);
+      if (!heavy || arc.task_count > heavy->task_count) heavy = arc;
+    }
+    if (!heavy || heavy->task_count == 0) continue;
+    const support::Uint160 span =
+        support::clockwise_distance(heavy->pred, heavy->id);
+    if (span <= support::Uint160{1}) continue;  // nowhere to stand
+
+    // Announce to the predecessor list of that vnode (§V-B: nodes track
+    // numSuccessors predecessors too).
+    ++counters.invitations_sent;
+    const auto predecessors =
+        world.predecessors_of(heavy->id, world.params().num_successors);
+
+    // The helper: least-loaded DISTINCT physical owner at or below the
+    // threshold with spare Sybil capacity.
+    std::optional<sim::NodeIndex> helper;
+    std::uint64_t helper_load = 0;
+    for (const auto& pid : predecessors) {
+      const sim::ArcView parc = world.arc_of(pid);
+      if (parc.owner == idx) continue;  // don't invite ourselves
+      const std::uint64_t load = world.workload(parc.owner);
+      if (load > threshold) continue;
+      if (world.sybil_count(parc.owner) >=
+          world.sybil_cap(parc.owner)) {
+        continue;
+      }
+      if (!helper || load < helper_load) {
+        helper = parc.owner;
+        helper_load = load;
+      }
+    }
+    if (!helper) continue;  // §IV-D: the invitation may be refused
+
+    const support::Uint160 placement =
+        support::arc_midpoint(heavy->pred, heavy->id);
+    if (const auto acquired = world.create_sybil(*helper, placement)) {
+      ++counters.invitations_accepted;
+      record_placement(*acquired, counters);
+    }
+  }
+}
+
+}  // namespace dhtlb::lb

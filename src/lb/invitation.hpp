@@ -1,0 +1,31 @@
+// Invitation (§IV-D) — the reactive strategy.
+//
+// Roles are reversed relative to the injection strategies: a node that
+// is OVERBURDENED (workload strictly above the sybilThreshold, per §IV-D
+// "nodes determine whether or not they are overburdened using the
+// sybilThreshold parameter") announces to its predecessor list that it
+// needs help.  Among the predecessors whose own workload is at or below
+// the sybilThreshold and who still have Sybil capacity, the least loaded
+// one accepts, creating a Sybil at the midpoint of the announcer's
+// most-loaded arc — taking about half its keys.  The invitation is
+// refused (counted, no Sybil) when no predecessor qualifies.
+//
+// Because queries and injections happen only on demand, this strategy
+// generates far less traffic than the proactive ones — the trade-off the
+// paper highlights.
+#pragma once
+
+#include "lb/common.hpp"
+#include "sim/strategy.hpp"
+
+namespace dhtlb::lb {
+
+class Invitation final : public sim::Strategy {
+ public:
+  std::string_view name() const override { return "invitation"; }
+
+  void decide(sim::World& world, support::Rng& rng,
+              sim::StrategyCounters& counters) override;
+};
+
+}  // namespace dhtlb::lb

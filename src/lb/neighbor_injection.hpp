@@ -1,0 +1,61 @@
+// Neighbor Injection (§IV-C), in both variants.
+//
+// An under-utilized node restricts its search to its successor list
+// (numSuccessors entries), limiting network traffic relative to Random
+// Injection:
+//
+//  * Estimating (default): pick the successor with the LARGEST ownership
+//    arc — a zero-message heuristic assuming big arc => much work — and
+//    drop a Sybil at a random ID inside that arc.
+//  * Smart: query every successor for its actual task count (one message
+//    each, counted), then split the most-loaded successor's arc at its
+//    midpoint, taking about half its keys.
+//
+// Optional (§IV-C's suggestion, off by default): after a placement that
+// acquired no work, mark that successor's arc invalid so later rounds
+// skip it instead of spamming the same empty gap.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lb/common.hpp"
+#include "sim/strategy.hpp"
+#include "support/uint160.hpp"
+
+namespace dhtlb::lb {
+
+class NeighborInjection final : public sim::Strategy {
+ public:
+  enum class Mode {
+    kEstimate,  // largest successor arc, no queries
+    kSmart,     // query successors, split the most loaded
+  };
+
+  explicit NeighborInjection(Mode mode) : mode_(mode) {}
+
+  std::string_view name() const override {
+    return mode_ == Mode::kEstimate ? "neighbor-injection"
+                                    : "smart-neighbor-injection";
+  }
+
+  void decide(sim::World& world, support::Rng& rng,
+              sim::StrategyCounters& counters) override;
+
+ private:
+  struct U160Hash {
+    std::size_t operator()(const support::Uint160& v) const {
+      return static_cast<std::size_t>(v.low64() ^ v.high64());
+    }
+  };
+
+  Mode mode_;
+  // Arcs (keyed by their owning vnode ID) a given physical node has
+  // marked invalid after a fruitless placement.  Only consulted when
+  // params.mark_failed_ranges is set.
+  std::unordered_map<sim::NodeIndex,
+                     std::unordered_set<support::Uint160, U160Hash>>
+      invalid_;
+};
+
+}  // namespace dhtlb::lb

@@ -1,0 +1,22 @@
+#include "lb/random_injection.hpp"
+
+#include "hashing/sha1.hpp"
+
+namespace dhtlb::lb {
+
+void RandomInjection::decide(sim::World& world, support::Rng& rng,
+                             sim::StrategyCounters& counters) {
+  for (const sim::NodeIndex idx : shuffled_alive(world, rng)) {
+    retire_idle_sybils(world, idx, counters);
+    if (!may_create_sybil(world, idx)) continue;
+    // "Creating a Sybil node at a random address": a fresh SHA-1 ID, the
+    // same generator real joins use (§V).  One Sybil per decision, to
+    // avoid overwhelming the network (§IV-B).
+    const auto id = hashing::Sha1::hash_u64(rng());
+    if (const auto acquired = world.create_sybil(idx, id)) {
+      record_placement(*acquired, counters);
+    }
+  }
+}
+
+}  // namespace dhtlb::lb

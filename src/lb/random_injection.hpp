@@ -1,0 +1,25 @@
+// Random Injection (§IV-B) — the paper's best-performing strategy.
+//
+// On each decision tick (every 5 ticks), every node whose workload is at
+// or below the sybilThreshold creates ONE Sybil at a random SHA-1
+// address, up to its Sybil cap.  A node holding Sybils but no work
+// retires them first.  Placement is global-random: the Sybil lands in an
+// arbitrary arc of the ring, which statistically targets the largest
+// (and hence most loaded) arcs — the same mechanism that makes churn
+// balance the network, but without ever removing a worker.
+#pragma once
+
+#include "lb/common.hpp"
+#include "sim/strategy.hpp"
+
+namespace dhtlb::lb {
+
+class RandomInjection final : public sim::Strategy {
+ public:
+  std::string_view name() const override { return "random-injection"; }
+
+  void decide(sim::World& world, support::Rng& rng,
+              sim::StrategyCounters& counters) override;
+};
+
+}  // namespace dhtlb::lb

@@ -1,0 +1,46 @@
+// Strength-aware balancing — the paper's first future-work direction.
+//
+// §VII: heterogeneous networks balanced *load* but not *efficiency*,
+// because weak nodes acquired work from strong nodes and then took
+// longer to finish it.  "An avenue for future work could consider the
+// node strength as a factor."  This strategy does exactly that, in two
+// ways, both still using only local information:
+//
+//  1. Proportional appetite: a node's Sybil trigger compares its
+//     workload to strength * sybilThreshold + strength - 1 — i.e. a
+//     strength-s node seeks more work while it still has up to s-1
+//     tasks in flight, keeping strong machines saturated.
+//  2. Strength-weighted acquisition: when an overburdened node's
+//     predecessors compete to help (the Invitation shape), the winner
+//     is the one with the lowest workload *per unit of strength*, and
+//     the Sybil splits the arc at the point that hands the helper a
+//     share proportional to its strength — a strength-s helper takes
+//     s/(s+1) ... no: takes strength/(strength + owner_strength) of the
+//     keys, so a weak helper takes little from a strong owner and a
+//     strong helper takes a lot from a weak owner.
+//
+// In a homogeneous network both rules reduce exactly to Random
+// Injection + Invitation hybrid behavior, so the strategy is a strict
+// generalization.
+#pragma once
+
+#include "lb/common.hpp"
+#include "sim/strategy.hpp"
+
+namespace dhtlb::lb {
+
+class StrengthAware final : public sim::Strategy {
+ public:
+  std::string_view name() const override { return "strength-aware"; }
+
+  void decide(sim::World& world, support::Rng& rng,
+              sim::StrategyCounters& counters) override;
+
+ private:
+  /// Appetite threshold for a node: how much residual work still counts
+  /// as "hungry" given its strength.
+  static std::uint64_t appetite(const sim::World& world,
+                                sim::NodeIndex idx);
+};
+
+}  // namespace dhtlb::lb

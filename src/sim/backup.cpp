@@ -1,0 +1,101 @@
+#include "sim/backup.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dhtlb::sim {
+
+BackupRing::BackupRing(std::vector<Id> nodes, std::size_t replication)
+    : replication_(replication) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("BackupRing: need at least one node");
+  }
+  if (replication == 0) {
+    throw std::invalid_argument("BackupRing: replication must be >= 1");
+  }
+  for (const auto& id : nodes) {
+    if (!nodes_.emplace(id, true).second) {
+      throw std::invalid_argument("BackupRing: duplicate node ID");
+    }
+  }
+}
+
+std::vector<BackupRing::Id> BackupRing::target_holders(const Id& key) const {
+  std::vector<Id> holders;
+  if (nodes_.empty()) return holders;
+  auto it = nodes_.lower_bound(key);
+  if (it == nodes_.end()) it = nodes_.begin();
+  const std::size_t want = std::min(replication_, nodes_.size());
+  while (holders.size() < want) {
+    holders.push_back(it->first);
+    ++it;
+    if (it == nodes_.end()) it = nodes_.begin();
+  }
+  return holders;
+}
+
+void BackupRing::add_key(const Id& key) {
+  KeyState state;
+  state.holders = target_holders(key);
+  keys_[key] = std::move(state);
+}
+
+std::uint64_t BackupRing::fail_node(const Id& node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return 0;
+  nodes_.erase(it);
+  std::uint64_t destroyed = 0;
+  for (auto& [key, state] : keys_) {
+    if (state.lost) continue;
+    const auto pos =
+        std::find(state.holders.begin(), state.holders.end(), node);
+    if (pos == state.holders.end()) continue;
+    state.holders.erase(pos);
+    ++destroyed;
+    if (state.holders.empty()) {
+      state.lost = true;
+      ++lost_;
+    }
+  }
+  return destroyed;
+}
+
+bool BackupRing::join_node(const Id& id) {
+  return nodes_.emplace(id, true).second;
+}
+
+std::uint64_t BackupRing::repair() {
+  std::uint64_t transfers = 0;
+  for (auto& [key, state] : keys_) {
+    if (state.lost) continue;
+    const std::vector<Id> targets = target_holders(key);
+    // Copy to every target that lacks one (each copy is one transfer
+    // from a surviving holder), then retire stale copies (free).
+    std::vector<Id> next;
+    next.reserve(targets.size());
+    for (const auto& target : targets) {
+      const bool has_copy = std::find(state.holders.begin(),
+                                      state.holders.end(),
+                                      target) != state.holders.end();
+      if (!has_copy) ++transfers;
+      next.push_back(target);
+    }
+    state.holders = std::move(next);
+  }
+  return transfers;
+}
+
+bool BackupRing::key_alive(const Id& key) const {
+  const auto it = keys_.find(key);
+  return it != keys_.end() && !it->second.lost;
+}
+
+std::size_t BackupRing::copies_of(const Id& key) const {
+  const auto it = keys_.find(key);
+  if (it == keys_.end() || it->second.lost) return 0;
+  return it->second.holders.size();
+}
+
+std::size_t BackupRing::live_nodes() const { return nodes_.size(); }
+
+}  // namespace dhtlb::sim

@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace dhtlb::sim {
+
+Engine::Engine(const Params& params, std::uint64_t seed,
+               std::unique_ptr<Strategy> strategy)
+    : params_(params), rng_(seed), world_(params_, rng_),
+      strategy_(std::move(strategy)) {
+  // Ideal runtime (§V-C): tasks spread perfectly over the initial
+  // capacity, no churn, no Sybils.  Ceiling division: a partial final
+  // tick still counts as a tick.
+  const std::uint64_t capacity = world_.initial_capacity();
+  ideal_ticks_ = (params_.total_tasks + capacity - 1) / capacity;
+  cap_ = params_.effective_max_ticks(ideal_ticks_);
+}
+
+void Engine::request_snapshots(std::vector<std::uint64_t> ticks) {
+  snapshot_ticks_ = std::move(ticks);
+  std::sort(snapshot_ticks_.begin(), snapshot_ticks_.end());
+  snapshot_ticks_.erase(
+      std::unique(snapshot_ticks_.begin(), snapshot_ticks_.end()),
+      snapshot_ticks_.end());
+  if (!snapshot_ticks_.empty() && snapshot_ticks_.front() == 0) {
+    snapshots_.push_back(capture(0));
+  }
+}
+
+Snapshot Engine::capture(std::uint64_t tick) const {
+  Snapshot snap;
+  snap.tick = tick;
+  snap.workloads = world_.alive_workloads();
+  snap.remaining_tasks = world_.remaining_tasks();
+  snap.vnode_count = world_.vnode_count();
+  snap.alive_count = world_.alive_count();
+  return snap;
+}
+
+void Engine::churn_step() {
+  if (params_.churn_rate <= 0.0) return;
+  // Departures: per-node Bernoulli over a snapshot of the alive set (the
+  // set mutates as nodes leave).  The last remaining node never departs.
+  const std::vector<NodeIndex> alive_now = world_.alive_indices();
+  for (const NodeIndex idx : alive_now) {
+    if (world_.alive_count() <= 1) break;
+    if (rng_.bernoulli(params_.churn_rate) && world_.depart(idx)) {
+      ++leaves_;
+    }
+  }
+  // Arrivals: each waiting node independently decides to join.  Waiting
+  // nodes are exchangeable, so drawing a Binomial count and popping that
+  // many from the pool is equivalent to per-node draws.
+  const std::size_t waiting_now = world_.waiting_count();
+  std::size_t joins_this_tick = 0;
+  for (std::size_t i = 0; i < waiting_now; ++i) {
+    if (rng_.bernoulli(params_.churn_rate)) ++joins_this_tick;
+  }
+  for (std::size_t i = 0; i < joins_this_tick; ++i) {
+    if (world_.join_from_pool()) ++joins_;
+  }
+}
+
+bool Engine::step() {
+  if (world_.remaining_tasks() == 0 || tick_ >= cap_) return false;
+  ++tick_;
+
+  churn_step();
+
+  if (strategy_ && tick_ % params_.decision_period == 0) {
+    strategy_->decide(world_, rng_, strategy_counters_);
+  }
+
+  // Consumption over a snapshot of the alive set: nodes that joined this
+  // tick participate (they are in the set by now); the set does not
+  // change during consumption.
+  std::uint64_t done_this_tick = 0;
+  for (const NodeIndex idx : world_.alive_indices()) {
+    done_this_tick += world_.consume(idx, world_.work_per_tick(idx));
+  }
+  if (record_series_) series_.push_back(done_this_tick);
+
+  if (!snapshot_ticks_.empty()) {
+    const auto it = std::lower_bound(snapshot_ticks_.begin(),
+                                     snapshot_ticks_.end(), tick_);
+    if (it != snapshot_ticks_.end() && *it == tick_) {
+      snapshots_.push_back(capture(tick_));
+    }
+  }
+  return world_.remaining_tasks() > 0 && tick_ < cap_;
+}
+
+void Engine::finalize(RunResult& result) const {
+  result.strategy_name = strategy_ ? std::string(strategy_->name())
+                                   : "none";
+  result.ticks = tick_;
+  result.ideal_ticks = ideal_ticks_;
+  result.runtime_factor = ideal_ticks_ == 0
+                              ? 0.0
+                              : static_cast<double>(tick_) /
+                                    static_cast<double>(ideal_ticks_);
+  result.completed = world_.remaining_tasks() == 0;
+  result.avg_work_per_tick =
+      tick_ == 0 ? 0.0
+                 : static_cast<double>(params_.total_tasks -
+                                       world_.remaining_tasks()) /
+                       static_cast<double>(tick_);
+  result.joins = joins_;
+  result.leaves = leaves_;
+  result.strategy_counters = strategy_counters_;
+  result.snapshots = snapshots_;
+  result.work_per_tick = series_;
+}
+
+RunResult Engine::run() {
+  while (step()) {
+  }
+  // step() returns false both on the final productive tick and when
+  // called after completion; loop until it reports no more progress.
+  RunResult result;
+  finalize(result);
+  return result;
+}
+
+}  // namespace dhtlb::sim

@@ -1,0 +1,100 @@
+// The tick engine: drives one simulated distributed computation to
+// completion and reports the paper's outputs (§V-C): runtime in ticks,
+// ideal runtime, runtime factor, average work per tick, plus workload
+// snapshots and strategy event counters.
+//
+// Tick anatomy (1-based tick t):
+//   1. churn       — each alive node leaves w.p. churn_rate; each waiting
+//                    node joins w.p. churn_rate (§IV-A)
+//   2. decision    — strategy->decide() when t % decision_period == 0
+//   3. consumption — each alive node consumes work_per_tick tasks
+//   4. snapshot    — if t was requested (tick 0 = initial state)
+// The run ends when no tasks remain (or the safety cap trips).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/strategy.hpp"
+#include "sim/world.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::sim {
+
+/// Everything a single run produces.
+struct RunResult {
+  std::string strategy_name;
+  std::uint64_t ticks = 0;
+  std::uint64_t ideal_ticks = 0;
+  double runtime_factor = 0.0;
+  bool completed = false;  // false = safety cap hit before tasks drained
+  double avg_work_per_tick = 0.0;
+
+  // Environment event counts.
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+
+  StrategyCounters strategy_counters;
+  std::vector<Snapshot> snapshots;
+
+  /// Tasks completed on each tick (index 0 = tick 1); only populated
+  /// when Engine::record_tick_series(true) was set.  This is the "work
+  /// per tick" series of §V-C.
+  std::vector<std::uint64_t> work_per_tick;
+};
+
+class Engine {
+ public:
+  /// A null strategy pointer means "no strategy" (the paper's baseline).
+  Engine(const Params& params, std::uint64_t seed,
+         std::unique_ptr<Strategy> strategy = nullptr);
+
+  /// Requests a snapshot after each listed tick (0 = initial state).
+  /// Must be called before run()/step().
+  void request_snapshots(std::vector<std::uint64_t> ticks);
+
+  /// Enables recording of tasks completed per tick (off by default: the
+  /// series is O(runtime) memory).
+  void record_tick_series(bool enabled) { record_series_ = enabled; }
+
+  /// Runs to completion (or the safety cap) and returns the results.
+  RunResult run();
+
+  /// Executes one tick; returns true while work remains and the cap has
+  /// not tripped.  Useful for incremental inspection in tests/examples.
+  bool step();
+
+  const World& world() const { return world_; }
+  World& world() { return world_; }
+  std::uint64_t current_tick() const { return tick_; }
+  std::uint64_t ideal_ticks() const { return ideal_ticks_; }
+
+  /// Snapshot of the current state (used internally and by examples).
+  Snapshot capture(std::uint64_t tick) const;
+
+ private:
+  void churn_step();
+  void finalize(RunResult& result) const;
+
+  Params params_;
+  support::Rng rng_;
+  World world_;
+  std::unique_ptr<Strategy> strategy_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t ideal_ticks_ = 0;
+  std::uint64_t cap_ = 0;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+  StrategyCounters strategy_counters_;
+  std::vector<std::uint64_t> snapshot_ticks_;  // sorted
+  std::vector<Snapshot> snapshots_;
+  bool record_series_ = false;
+  std::vector<std::uint64_t> series_;
+};
+
+}  // namespace dhtlb::sim

@@ -1,0 +1,74 @@
+// Simulation parameters — the paper's experimental variables (§V-B).
+//
+// Field names follow the paper's vocabulary: network size, number of
+// tasks, homogeneity, work measurement, churn rate, maxSybils,
+// sybilThreshold, successors, plus the 5-tick decision cadence from
+// §IV-B and one optional extension flag (§IV-C's "mark failed ranges"
+// suggestion).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dhtlb::sim {
+
+/// How much work a node consumes per tick (§V-B "Work Measurement").
+enum class WorkMeasure {
+  kOneTaskPerTick,   // default: every node completes one task per tick
+  kStrengthPerTick,  // a node completes `strength` tasks per tick
+};
+
+struct Params {
+  /// Nodes alive at tick zero.  A pool of equally many waiting nodes is
+  /// created alongside (§IV-A), so churn joins/leaves roughly balance.
+  std::size_t initial_nodes = 1000;
+
+  /// Job size in tasks; each task has a SHA-1 key (§V-A).
+  std::uint64_t total_tasks = 100'000;
+
+  /// Heterogeneous networks draw each node's strength uniformly from
+  /// {1..max_sybils}; homogeneous networks use strength 1 everywhere.
+  bool heterogeneous = false;
+
+  WorkMeasure work_measure = WorkMeasure::kOneTaskPerTick;
+
+  /// Per-tick probability that each alive node leaves and each waiting
+  /// node joins (§V-B; joining and leaving rates are equal).
+  double churn_rate = 0.0;
+
+  /// Sybil cap for homogeneous nodes, and the upper bound of the
+  /// strength distribution for heterogeneous ones (§V-B).
+  unsigned max_sybils = 5;
+
+  /// A node may create a Sybil only when its workload is at or below
+  /// this many tasks (§V-B; default 0 = must be fully idle).
+  std::uint64_t sybil_threshold = 0;
+
+  /// Successor-list length; nodes track equally many predecessors (§V-B).
+  std::size_t num_successors = 5;
+
+  /// Sybil strategies run their decision step every this many ticks
+  /// (§IV-B: "This check occurs every 5 ticks").
+  std::uint64_t decision_period = 5;
+
+  /// §IV-C extension: remember arcs where an injected Sybil acquired no
+  /// work and skip them on later decisions.  Off by default (the paper
+  /// only suggests it); exercised by the ablation bench.
+  bool mark_failed_ranges = false;
+
+  /// Hard tick cap; 0 selects an automatic safety cap well above any
+  /// plausible runtime factor.  Runs hitting the cap report
+  /// completed == false.
+  std::uint64_t max_ticks = 0;
+
+  /// Throws std::invalid_argument on out-of-domain values.
+  void validate() const;
+
+  /// The effective cap used by the engine.
+  std::uint64_t effective_max_ticks(std::uint64_t ideal_ticks) const;
+
+  std::string describe() const;
+};
+
+}  // namespace dhtlb::sim

@@ -1,0 +1,48 @@
+// Strategy interface: the autonomous load-balancing policy plugged into
+// the engine.  Implementations live in src/lb.
+//
+// A strategy is invoked on *decision ticks* (every `decision_period`
+// ticks, §IV-B) and may inspect/mutate the world only through operations
+// a real node could perform locally: its own workload and Sybil count,
+// its successor/predecessor lists, and Sybil creation/retirement.
+// Churn is part of the environment (engine), not the strategy — the
+// paper's "Induced Churn strategy" is simply no Sybil policy plus a
+// nonzero churn rate, which also lets churn be layered under any Sybil
+// strategy for the ablations in §VI-B.1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/rng.hpp"
+
+namespace dhtlb::sim {
+
+class World;
+
+/// Per-run event counters a strategy reports into (message-cost proxies
+/// for the qualitative traffic comparisons in §VI-C/D).
+struct StrategyCounters {
+  std::uint64_t sybils_created = 0;
+  std::uint64_t sybils_retired = 0;
+  std::uint64_t tasks_acquired_by_sybils = 0;
+  std::uint64_t failed_placements = 0;   // Sybil acquired zero tasks
+  std::uint64_t workload_queries = 0;    // smart neighbor probes
+  std::uint64_t invitations_sent = 0;
+  std::uint64_t invitations_accepted = 0;
+  std::uint64_t ranges_marked_invalid = 0;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// One decision round: called on every tick t with t % decision_period
+  /// == 0 (1-based), before work consumption.
+  virtual void decide(World& world, support::Rng& rng,
+                      StrategyCounters& counters) = 0;
+};
+
+}  // namespace dhtlb::sim

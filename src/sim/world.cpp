@@ -1,0 +1,325 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hashing/sha1.hpp"
+#include "support/ring_math.hpp"
+
+namespace dhtlb::sim {
+
+World::World(const Params& params, support::Rng& rng)
+    : params_(params), rng_(rng) {
+  params_.validate();
+
+  // Physical population: N alive + N waiting (§IV-A: the waiting pool
+  // "begins at the same initial size as the network").
+  const std::size_t n = params_.initial_nodes;
+  physicals_.resize(2 * n);
+  auto roll_strength = [&]() -> unsigned {
+    if (!params_.heterogeneous) return 1;
+    return static_cast<unsigned>(rng_.range(1, params_.max_sybils));
+  };
+  for (std::size_t i = 0; i < physicals_.size(); ++i) {
+    physicals_[i].strength = roll_strength();
+    physicals_[i].alive = i < n;
+  }
+
+  alive_.reserve(n);
+  waiting_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alive_.push_back(static_cast<NodeIndex>(i));
+  }
+  for (std::size_t i = n; i < 2 * n; ++i) {
+    waiting_.push_back(static_cast<NodeIndex>(i));
+  }
+
+  // Place the initially alive nodes at SHA-1 IDs.
+  for (const NodeIndex idx : alive_) {
+    const Uint160 id = fresh_ring_id();
+    VirtualNode vnode;
+    vnode.owner = idx;
+    vnode.is_sybil = false;
+    ring_.emplace(id, std::move(vnode));
+    physicals_[idx].vnode_ids.push_back(id);
+    initial_capacity_ += work_per_tick(idx);
+  }
+
+  // Assign SHA-1-keyed tasks to their owner arcs: owner of key k is the
+  // first vnode clockwise at or after k.
+  for (std::uint64_t t = 0; t < params_.total_tasks; ++t) {
+    const Uint160 key = hashing::Sha1::hash_u64(rng_());
+    auto it = ring_.lower_bound(key);
+    if (it == ring_.end()) it = ring_.begin();
+    it->second.tasks.add(key);
+    ++physicals_[it->second.owner].workload;
+  }
+  remaining_ = params_.total_tasks;
+}
+
+std::uint64_t World::work_per_tick(NodeIndex idx) const {
+  if (params_.work_measure == WorkMeasure::kStrengthPerTick) {
+    return physicals_[idx].strength;
+  }
+  return 1;
+}
+
+unsigned World::sybil_cap(NodeIndex idx) const {
+  return params_.heterogeneous ? physicals_[idx].strength
+                               : params_.max_sybils;
+}
+
+std::vector<std::uint64_t> World::alive_workloads() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(alive_.size());
+  for (const NodeIndex idx : alive_) {
+    loads.push_back(physicals_[idx].workload);
+  }
+  return loads;
+}
+
+World::RingMap::const_iterator World::ring_successor(
+    RingMap::const_iterator it) const {
+  ++it;
+  return it == ring_.end() ? ring_.begin() : it;
+}
+
+World::RingMap::iterator World::ring_successor(RingMap::iterator it) {
+  ++it;
+  return it == ring_.end() ? ring_.begin() : it;
+}
+
+World::RingMap::const_iterator World::ring_predecessor(
+    RingMap::const_iterator it) const {
+  if (it == ring_.begin()) return std::prev(ring_.end());
+  return std::prev(it);
+}
+
+ArcView World::arc_of(const Uint160& vnode_id) const {
+  const auto it = ring_.find(vnode_id);
+  assert(it != ring_.end() && "arc_of: vnode not in ring");
+  ArcView view;
+  view.id = vnode_id;
+  view.pred = ring_predecessor(it)->first;
+  view.owner = it->second.owner;
+  view.is_sybil = it->second.is_sybil;
+  view.task_count = it->second.tasks.size();
+  return view;
+}
+
+std::vector<Uint160> World::successors_of(const Uint160& vnode_id,
+                                          std::size_t k) const {
+  std::vector<Uint160> out;
+  auto it = ring_.find(vnode_id);
+  assert(it != ring_.end() && "successors_of: vnode not in ring");
+  out.reserve(k);
+  auto cursor = ring_successor(it);
+  while (out.size() < k && cursor->first != vnode_id) {
+    out.push_back(cursor->first);
+    cursor = ring_successor(cursor);
+  }
+  return out;
+}
+
+std::vector<Uint160> World::predecessors_of(const Uint160& vnode_id,
+                                            std::size_t k) const {
+  std::vector<Uint160> out;
+  auto it = ring_.find(vnode_id);
+  assert(it != ring_.end() && "predecessors_of: vnode not in ring");
+  out.reserve(k);
+  auto cursor = it;
+  while (out.size() < k) {
+    cursor = ring_.find(ring_predecessor(cursor)->first);
+    if (cursor->first == vnode_id) break;
+    out.push_back(cursor->first);
+  }
+  return out;
+}
+
+ArcView World::arc_covering(const Uint160& point) const {
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) it = ring_.begin();
+  return arc_of(it->first);
+}
+
+std::optional<Uint160> World::median_task_key(const Uint160& vnode_id) const {
+  const auto it = ring_.find(vnode_id);
+  assert(it != ring_.end() && "median_task_key: vnode not in ring");
+  const auto& keys = it->second.tasks.keys();
+  if (keys.empty()) return std::nullopt;
+  // Order keys by clockwise distance from the arc start so wrapping
+  // arcs sort correctly, then take the lower median.
+  const Uint160 start = ring_predecessor(it)->first;
+  std::vector<Uint160> offsets;
+  offsets.reserve(keys.size());
+  for (const auto& k : keys) {
+    offsets.push_back(support::clockwise_distance(start, k));
+  }
+  const auto mid = offsets.begin() +
+                   static_cast<std::ptrdiff_t>((offsets.size() - 1) / 2);
+  std::nth_element(offsets.begin(), mid, offsets.end());
+  return start + *mid;
+}
+
+const std::vector<TaskKey>& World::vnode_keys(const Uint160& vnode_id) const {
+  const auto it = ring_.find(vnode_id);
+  assert(it != ring_.end() && "vnode_keys: vnode not in ring");
+  return it->second.tasks.keys();
+}
+
+Uint160 World::fresh_ring_id() {
+  // SHA-1 of a random 64-bit value (§V: "Nodes obtain an ID, drawn from
+  // a call to SHA1").  Collisions are ~2^-160 but re-draw regardless.
+  for (;;) {
+    const Uint160 id = hashing::Sha1::hash_u64(rng_());
+    if (!ring_.contains(id)) return id;
+  }
+}
+
+std::optional<std::uint64_t> World::create_sybil(NodeIndex owner,
+                                                 Uint160 id) {
+  if (ring_.contains(id)) return std::nullopt;
+  // Find the vnode currently covering `id` (first vnode clockwise at or
+  // after it); the new Sybil takes the keys in (pred, id] from it.
+  auto succ = ring_.lower_bound(id);
+  if (succ == ring_.end()) succ = ring_.begin();
+  auto pred_it = ring_predecessor(succ);
+  const Uint160 pred_id = pred_it->first;
+
+  VirtualNode vnode;
+  vnode.owner = owner;
+  vnode.is_sybil = true;
+  const std::uint64_t acquired =
+      succ->second.tasks.split_arc_into(pred_id, id, vnode.tasks);
+  physicals_[succ->second.owner].workload -= acquired;
+  physicals_[owner].workload += acquired;
+
+  ring_.emplace(id, std::move(vnode));
+  physicals_[owner].vnode_ids.push_back(id);
+  return acquired;
+}
+
+void World::remove_vnode(const Uint160& id) {
+  auto it = ring_.find(id);
+  assert(it != ring_.end() && "remove_vnode: vnode not in ring");
+  assert(ring_.size() > 1 && "remove_vnode: cannot empty the ring");
+  auto succ = ring_successor(it);
+  const std::uint64_t moved = succ->second.tasks.merge_from(it->second.tasks);
+  physicals_[it->second.owner].workload -= moved;
+  physicals_[succ->second.owner].workload += moved;
+  ring_.erase(it);
+}
+
+void World::remove_sybils(NodeIndex owner) {
+  auto& ids = physicals_[owner].vnode_ids;
+  // vnode_ids[0] is the primary; everything after it is a Sybil.
+  while (ids.size() > 1) {
+    remove_vnode(ids.back());
+    ids.pop_back();
+  }
+}
+
+bool World::depart(NodeIndex idx) {
+  PhysicalNode& node = physicals_[idx];
+  assert(node.alive && "depart: node is not alive");
+  if (node.vnode_ids.size() >= ring_.size()) {
+    return false;  // would empty the ring — nobody left to inherit tasks
+  }
+  // Remove Sybils first, then the primary; each merge hands tasks to the
+  // ring successor exactly as the active-backup model prescribes.
+  while (!node.vnode_ids.empty()) {
+    remove_vnode(node.vnode_ids.back());
+    node.vnode_ids.pop_back();
+  }
+  assert(node.workload == 0);
+  node.alive = false;
+  std::erase(alive_, idx);
+  waiting_.push_back(idx);
+  return true;
+}
+
+std::optional<NodeIndex> World::join_from_pool() {
+  if (waiting_.empty()) return std::nullopt;
+  const NodeIndex idx = waiting_.back();
+  waiting_.pop_back();
+  PhysicalNode& node = physicals_[idx];
+  node.alive = true;
+  alive_.push_back(idx);
+
+  const Uint160 id = fresh_ring_id();
+  auto succ = ring_.lower_bound(id);
+  if (succ == ring_.end()) succ = ring_.begin();
+  const Uint160 pred_id = ring_predecessor(succ)->first;
+
+  VirtualNode vnode;
+  vnode.owner = idx;
+  vnode.is_sybil = false;
+  const std::uint64_t acquired =
+      succ->second.tasks.split_arc_into(pred_id, id, vnode.tasks);
+  physicals_[succ->second.owner].workload -= acquired;
+  node.workload = acquired;
+
+  ring_.emplace(id, std::move(vnode));
+  node.vnode_ids.push_back(id);
+  return idx;
+}
+
+std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
+  PhysicalNode& node = physicals_[idx];
+  std::uint64_t consumed = 0;
+  while (consumed < budget && node.workload > 0) {
+    // Work on the most-loaded vnode first; within a vnode, task order is
+    // immaterial (uniform random pick, see TaskStore::consume_random).
+    VirtualNode* busiest = nullptr;
+    for (const Uint160& vid : node.vnode_ids) {
+      VirtualNode& vnode = ring_.at(vid);
+      if (busiest == nullptr || vnode.tasks.size() > busiest->tasks.size()) {
+        busiest = &vnode;
+      }
+    }
+    if (busiest == nullptr || busiest->tasks.empty()) break;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(budget - consumed, busiest->tasks.size());
+    for (std::uint64_t i = 0; i < take; ++i) {
+      busiest->tasks.consume_random(rng_);
+    }
+    consumed += take;
+    node.workload -= take;
+  }
+  remaining_ -= consumed;
+  return consumed;
+}
+
+bool World::check_invariants() const {
+  std::uint64_t ring_total = 0;
+  std::vector<std::uint64_t> per_owner(physicals_.size(), 0);
+  std::vector<std::size_t> vnodes_per_owner(physicals_.size(), 0);
+  for (const auto& [id, vnode] : ring_) {
+    ring_total += vnode.tasks.size();
+    per_owner[vnode.owner] += vnode.tasks.size();
+    ++vnodes_per_owner[vnode.owner];
+    if (!physicals_[vnode.owner].alive) return false;
+    // Every key must lie in the vnode's ownership arc.
+    const auto it = ring_.find(id);
+    const Uint160 pred = ring_predecessor(it)->first;
+    for (const auto& key : vnode.tasks.keys()) {
+      if (ring_.size() > 1 && !support::in_half_open_arc(key, pred, id)) {
+        return false;
+      }
+    }
+  }
+  if (ring_total != remaining_) return false;
+  for (std::size_t i = 0; i < physicals_.size(); ++i) {
+    if (physicals_[i].workload != per_owner[i]) return false;
+    if (physicals_[i].vnode_ids.size() != vnodes_per_owner[i]) return false;
+    if (physicals_[i].alive !=
+        (std::find(alive_.begin(), alive_.end(), static_cast<NodeIndex>(i)) !=
+         alive_.end())) {
+      return false;
+    }
+  }
+  if (alive_.size() + waiting_.size() != physicals_.size()) return false;
+  return true;
+}
+
+}  // namespace dhtlb::sim

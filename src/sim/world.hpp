@@ -1,0 +1,190 @@
+// The simulated DHT: a Chord ring of virtual nodes, the physical nodes
+// that own them, the waiting pool, and the exact-key task assignment.
+//
+// This is the idealized network model the paper simulates on (§V): the
+// ring is always consistent (one maintenance cycle fits in a tick),
+// leaving nodes' tasks are instantly absorbed by their successor (active
+// backup), and joining nodes instantly acquire the keys in their arc.
+// The full Chord protocol with explicit messages lives in src/chord and
+// is used to validate these assumptions and to cost them in messages.
+//
+// Vocabulary: a *virtual node* (vnode) is a ring position — either a
+// physical node's primary presence or one of its Sybils.  A *physical
+// node* owns 1 + #Sybils vnodes, has a strength, and consumes work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "sim/task_store.hpp"
+#include "support/rng.hpp"
+#include "support/uint160.hpp"
+
+namespace dhtlb::sim {
+
+using support::Uint160;
+
+/// Index of a physical node in the world (stable across its lifetime).
+using NodeIndex = std::uint32_t;
+
+/// One ring position and the tasks it currently owns.
+struct VirtualNode {
+  NodeIndex owner = 0;
+  bool is_sybil = false;
+  TaskStore tasks;
+};
+
+/// A machine participating (or waiting to participate) in the network.
+struct PhysicalNode {
+  unsigned strength = 1;  // het: U{1..maxSybils}; hom: 1
+  bool alive = false;
+  std::vector<Uint160> vnode_ids;  // [0] = primary; rest are Sybils
+  std::uint64_t workload = 0;      // cached: Σ tasks over vnode_ids
+};
+
+/// Local view of one vnode's ownership arc — what a node can learn about
+/// a ring position from its own routing state (strategies' only input).
+struct ArcView {
+  Uint160 pred;  // predecessor vnode's ID: arc is (pred, id]
+  Uint160 id;
+  NodeIndex owner = 0;
+  bool is_sybil = false;
+  std::uint64_t task_count = 0;
+};
+
+class World {
+ public:
+  /// Builds the initial network: `initial_nodes` alive physical nodes
+  /// with SHA-1 IDs, an equal-size waiting pool, and `total_tasks`
+  /// SHA-1-keyed tasks assigned to their owner arcs.
+  World(const Params& params, support::Rng& rng);
+
+  // --- global observers ---------------------------------------------------
+
+  const Params& params() const { return params_; }
+  std::uint64_t remaining_tasks() const { return remaining_; }
+  std::size_t vnode_count() const { return ring_.size(); }
+  std::size_t alive_count() const { return alive_.size(); }
+  std::size_t waiting_count() const { return waiting_.size(); }
+  const std::vector<NodeIndex>& alive_indices() const { return alive_; }
+  const std::vector<NodeIndex>& waiting_indices() const { return waiting_; }
+
+  const PhysicalNode& physical(NodeIndex idx) const {
+    return physicals_[idx];
+  }
+
+  /// Tasks per tick this node completes (1, or strength — §V-B).
+  std::uint64_t work_per_tick(NodeIndex idx) const;
+
+  /// Maximum Sybils this node may hold (§V-B: maxSybils, or strength in
+  /// a heterogeneous network).
+  unsigned sybil_cap(NodeIndex idx) const;
+
+  std::uint64_t workload(NodeIndex idx) const {
+    return physicals_[idx].workload;
+  }
+  std::size_t sybil_count(NodeIndex idx) const {
+    return physicals_[idx].vnode_ids.size() - 1;
+  }
+
+  /// Sum of work_per_tick over the initially alive population — the
+  /// denominator of the ideal runtime (§V-C).
+  std::uint64_t initial_capacity() const { return initial_capacity_; }
+
+  /// Per-alive-physical-node workloads, for histograms and imbalance
+  /// metrics (order matches alive_indices()).
+  std::vector<std::uint64_t> alive_workloads() const;
+
+  // --- local topology queries (strategy building blocks) -----------------
+
+  /// Arc of a vnode that exists in the ring.
+  ArcView arc_of(const Uint160& vnode_id) const;
+
+  /// Up to k vnode IDs clockwise after `vnode_id` (its successor list).
+  /// Stops early if the ring wraps back to the starting vnode.
+  std::vector<Uint160> successors_of(const Uint160& vnode_id,
+                                     std::size_t k) const;
+
+  /// Up to k vnode IDs counterclockwise before `vnode_id`.
+  std::vector<Uint160> predecessors_of(const Uint160& vnode_id,
+                                       std::size_t k) const;
+
+  bool ring_contains(const Uint160& id) const { return ring_.contains(id); }
+
+  /// Arc of the vnode whose ownership arc covers `point` (the vnode a
+  /// lookup for `point` would land on).
+  ArcView arc_covering(const Uint160& point) const;
+
+  /// Median of a vnode's remaining task keys along its arc (the exact
+  /// half-split ID used by the chosen-ID future-work strategy), or
+  /// nullopt when the vnode holds no tasks.  The median is taken in arc
+  /// order (clockwise from the arc's start), not raw numeric order, so
+  /// it is correct for arcs that wrap through zero.
+  std::optional<Uint160> median_task_key(const Uint160& vnode_id) const;
+
+  /// Read-only view of a vnode's remaining task keys (unordered).  For
+  /// inspection, tests and reference-model comparison — strategies must
+  /// not use it (it is more than a node could know about a peer).
+  const std::vector<TaskKey>& vnode_keys(const Uint160& vnode_id) const;
+
+  // --- mutation: membership & Sybils --------------------------------------
+
+  /// Inserts a Sybil vnode for `owner` at `id`, splitting the covering
+  /// node's arc and transferring the keys in (pred, id].  Returns the
+  /// number of tasks acquired, or nullopt if `id` collides with an
+  /// existing vnode.  Does NOT check the Sybil cap (strategy's job).
+  std::optional<std::uint64_t> create_sybil(NodeIndex owner, Uint160 id);
+
+  /// Removes all of `owner`'s Sybils; their tasks fall to their ring
+  /// successors (exactly like graceful departures).
+  void remove_sybils(NodeIndex owner);
+
+  /// An alive node (with all its Sybils) leaves the network and enters
+  /// the waiting pool; its tasks fall to ring successors.  Refuses (and
+  /// returns false) when it owns the only vnodes in the ring.
+  bool depart(NodeIndex idx);
+
+  /// Pops one waiting node and joins it at a fresh SHA-1 ID; returns its
+  /// index, or nullopt if the pool is empty.  The joiner immediately
+  /// acquires the keys in its arc (§IV-A).
+  std::optional<NodeIndex> join_from_pool();
+
+  // --- mutation: work -----------------------------------------------------
+
+  /// Consumes up to `budget` tasks from `idx`'s vnodes (most-loaded vnode
+  /// first).  Returns tasks actually consumed.
+  std::uint64_t consume(NodeIndex idx, std::uint64_t budget);
+
+  /// Validates internal invariants (cached workloads match stores, owner
+  /// back-pointers agree, remaining_ is consistent).  O(ring).  Used by
+  /// tests and debug builds.
+  bool check_invariants() const;
+
+ private:
+  using RingMap = std::map<Uint160, VirtualNode>;
+
+  RingMap::const_iterator ring_successor(RingMap::const_iterator it) const;
+  RingMap::const_iterator ring_predecessor(RingMap::const_iterator it) const;
+  RingMap::iterator ring_successor(RingMap::iterator it);
+
+  /// Generates a fresh SHA-1 node/task ID not colliding with the ring.
+  Uint160 fresh_ring_id();
+
+  /// Removes one vnode, merging its tasks into its successor.  The vnode
+  /// must not be the last one in the ring.
+  void remove_vnode(const Uint160& id);
+
+  Params params_;
+  support::Rng& rng_;
+  RingMap ring_;
+  std::vector<PhysicalNode> physicals_;
+  std::vector<NodeIndex> alive_;
+  std::vector<NodeIndex> waiting_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t initial_capacity_ = 0;
+};
+
+}  // namespace dhtlb::sim

@@ -1,0 +1,86 @@
+#include "stats/distribution_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dhtlb::stats {
+
+std::vector<LorenzPoint> lorenz_curve(std::span<const std::uint64_t> loads) {
+  std::vector<LorenzPoint> curve;
+  curve.push_back({0.0, 0.0});
+  if (loads.empty()) return curve;
+  std::vector<std::uint64_t> sorted(loads.begin(), loads.end());
+  std::sort(sorted.begin(), sorted.end());
+  const long double total = std::accumulate(
+      sorted.begin(), sorted.end(), static_cast<long double>(0));
+  const auto n = static_cast<double>(sorted.size());
+  long double running = 0.0L;
+  curve.reserve(sorted.size() + 1);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    running += sorted[i];
+    curve.push_back(
+        {static_cast<double>(i + 1) / n,
+         total == 0.0L ? static_cast<double>(i + 1) / n
+                       : static_cast<double>(running / total)});
+  }
+  return curve;
+}
+
+namespace {
+
+/// Generic one-sample KS statistic against a CDF.
+template <typename Cdf>
+double ks_statistic(std::span<const double> samples, Cdf cdf) {
+  if (samples.empty()) return 1.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model = cdf(sorted[i]);
+    const double above = static_cast<double>(i + 1) / n - model;
+    const double below = model - static_cast<double>(i) / n;
+    worst = std::max({worst, above, below});
+  }
+  return worst;
+}
+
+}  // namespace
+
+double ks_vs_exponential(std::span<const double> samples) {
+  if (samples.empty()) return 1.0;
+  const double mean =
+      std::accumulate(samples.begin(), samples.end(), 0.0) /
+      static_cast<double>(samples.size());
+  if (mean <= 0.0) return 1.0;
+  const double rate = 1.0 / mean;
+  return ks_statistic(samples, [rate](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-rate * x);
+  });
+}
+
+double ks_vs_uniform(std::span<const double> samples) {
+  if (samples.empty()) return 1.0;
+  const double mean =
+      std::accumulate(samples.begin(), samples.end(), 0.0) /
+      static_cast<double>(samples.size());
+  if (mean <= 0.0) return 1.0;
+  const double hi = 2.0 * mean;  // Uniform(0, 2*mean) has the same mean
+  return ks_statistic(samples, [hi](double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= hi) return 1.0;
+    return x / hi;
+  });
+}
+
+ArcTheory exponential_arc_theory(std::size_t nodes, std::uint64_t tasks) {
+  ArcTheory t;
+  t.mean_workload =
+      static_cast<double>(tasks) / static_cast<double>(nodes);
+  t.median_workload = std::log(2.0) * t.mean_workload;
+  t.sigma_workload = t.mean_workload;
+  return t;
+}
+
+}  // namespace dhtlb::stats

@@ -1,0 +1,52 @@
+// Distribution-fit diagnostics for the workload-skew theory in §III.
+//
+// The paper argues (Table I, Figures 1-3) that SHA-1 placement makes
+// per-node workloads heavy-tailed — "better represented by a Zipfian
+// distribution" — with the median pinned near ln2 x mean.  The clean
+// theoretical statement is that ownership-arc sizes of n uniformly
+// placed nodes follow an Exponential(n) law (spacings of a Poisson
+// process), which predicts exactly the paper's Table I: median = ln2 x
+// mean workload and sigma = mean.  This module provides the tooling to
+// TEST that claim rather than assert it: empirical CDF comparison
+// (Kolmogorov-Smirnov) against a fitted exponential, a Lorenz curve for
+// inequality plots, and the implied theory numbers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dhtlb::stats {
+
+/// One point of a Lorenz curve: the poorest `population_fraction` of
+/// nodes hold `load_fraction` of the work.
+struct LorenzPoint {
+  double population_fraction = 0.0;
+  double load_fraction = 0.0;
+};
+
+/// Lorenz curve of a load vector, one point per node plus the origin.
+/// The Gini coefficient equals twice the area between this curve and
+/// the diagonal.
+std::vector<LorenzPoint> lorenz_curve(std::span<const std::uint64_t> loads);
+
+/// Kolmogorov-Smirnov statistic of `samples` against an Exponential
+/// distribution with the sample mean: sup_x |F_emp(x) - F_exp(x)|.
+/// Returns 1.0 for empty input.
+double ks_vs_exponential(std::span<const double> samples);
+
+/// KS statistic against a Uniform(0, 2*mean) distribution — the shape
+/// workloads would have if arcs were evenly sized with noise; used as
+/// the contrast hypothesis in tests (exponential must fit better).
+double ks_vs_uniform(std::span<const double> samples);
+
+/// Theory predictions for a network of n nodes and t tasks under the
+/// exponential-arc model, matching Table I's columns.
+struct ArcTheory {
+  double mean_workload = 0.0;    // t / n
+  double median_workload = 0.0;  // ln2 * t / n
+  double sigma_workload = 0.0;   // ~ t / n (exponential)
+};
+ArcTheory exponential_arc_theory(std::size_t nodes, std::uint64_t tasks);
+
+}  // namespace dhtlb::stats

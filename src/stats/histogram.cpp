@@ -1,0 +1,107 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dhtlb::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("LinearHistogram: need lo < hi, bins >= 1");
+  }
+}
+
+void LinearHistogram::add(double x) {
+  const double clamped = std::clamp(x, lo_, hi_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((clamped - lo_) / width);
+  idx = std::min(idx, counts_.size() - 1);  // x == hi_ lands in last bin
+  ++counts_[idx];
+  ++total_;
+}
+
+std::vector<Bin> LinearHistogram::bins() const {
+  std::vector<Bin> out(counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i].lo = lo_ + width * static_cast<double>(i);
+    out[i].hi = lo_ + width * static_cast<double>(i + 1);
+    out[i].count = counts_[i];
+  }
+  return out;
+}
+
+std::vector<double> LinearHistogram::probabilities() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double first_edge, double last_edge,
+                           std::size_t bins)
+    : log_lo_(std::log(first_edge)),
+      log_hi_(std::log(last_edge)),
+      first_edge_(first_edge),
+      last_edge_(last_edge),
+      counts_(bins + 1, 0) {
+  if (!(first_edge > 0.0) || !(first_edge < last_edge) || bins == 0) {
+    throw std::invalid_argument(
+        "LogHistogram: need 0 < first_edge < last_edge, bins >= 1");
+  }
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (x < first_edge_) {
+    ++counts_[0];
+    return;
+  }
+  const double clamped = std::min(x, last_edge_);
+  const std::size_t log_bins = counts_.size() - 1;
+  const double frac =
+      (std::log(clamped) - log_lo_) / (log_hi_ - log_lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(log_bins));
+  idx = std::min(idx, log_bins - 1);
+  ++counts_[idx + 1];
+}
+
+std::vector<Bin> LogHistogram::bins() const {
+  std::vector<Bin> out(counts_.size());
+  out[0] = Bin{0.0, first_edge_, counts_[0]};
+  const std::size_t log_bins = counts_.size() - 1;
+  const double step = (log_hi_ - log_lo_) / static_cast<double>(log_bins);
+  for (std::size_t i = 0; i < log_bins; ++i) {
+    out[i + 1].lo = std::exp(log_lo_ + step * static_cast<double>(i));
+    out[i + 1].hi = std::exp(log_lo_ + step * static_cast<double>(i + 1));
+    out[i + 1].count = counts_[i + 1];
+  }
+  return out;
+}
+
+std::vector<double> LogHistogram::probabilities() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+LinearHistogram workload_histogram(std::span<const std::uint64_t> loads,
+                                   std::size_t bins) {
+  std::uint64_t max_load = 0;
+  for (auto v : loads) max_load = std::max(max_load, v);
+  // A top edge of at least 1 keeps the all-idle network renderable.
+  LinearHistogram h(0.0, static_cast<double>(std::max<std::uint64_t>(
+                             max_load, 1)) + 1.0,
+                    bins);
+  for (auto v : loads) h.add_u64(v);
+  return h;
+}
+
+}  // namespace dhtlb::stats

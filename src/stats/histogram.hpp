@@ -1,0 +1,81 @@
+// Histograms for workload-distribution figures.
+//
+// The paper's Figures 1 and 4-14 are histograms of per-node workload at a
+// given tick.  Figure 1 uses a logarithmic x-axis (workloads span 0 to
+// >10,000); the per-tick comparison figures use linear bins.  Both kinds
+// are provided, plus normalization to a probability mass per bin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dhtlb::stats {
+
+/// One rendered histogram bin: [lo, hi) except the last bin, which is
+/// closed on both ends.
+struct Bin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Fixed-width linear histogram over [lo, hi].
+class LinearHistogram {
+ public:
+  /// Creates `bins` equal-width bins spanning [lo, hi]; requires
+  /// lo < hi and bins >= 1.
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  /// Adds a sample; values outside [lo, hi] are clamped into the first /
+  /// last bin (out-of-range mass stays visible rather than vanishing).
+  void add(double x);
+  void add_u64(std::uint64_t x) { add(static_cast<double>(x)); }
+
+  std::uint64_t total() const { return total_; }
+  std::vector<Bin> bins() const;
+
+  /// Fraction of samples in each bin (empty histogram -> all zeros).
+  std::vector<double> probabilities() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Log-spaced histogram for heavy-tailed workload distributions
+/// (Figure 1).  A dedicated underflow bin holds zeros and values below
+/// `first_edge`, since log bins cannot contain 0.
+class LogHistogram {
+ public:
+  /// Bins: [0, first_edge) then `bins` log-uniform bins from first_edge
+  /// to last_edge.  Requires 0 < first_edge < last_edge, bins >= 1.
+  LogHistogram(double first_edge, double last_edge, std::size_t bins);
+
+  void add(double x);
+  void add_u64(std::uint64_t x) { add(static_cast<double>(x)); }
+
+  std::uint64_t total() const { return total_; }
+  /// First returned bin is the underflow bin [0, first_edge).
+  std::vector<Bin> bins() const;
+  std::vector<double> probabilities() const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  double first_edge_;
+  double last_edge_;
+  std::vector<std::uint64_t> counts_;  // counts_[0] = underflow
+  std::uint64_t total_ = 0;
+};
+
+/// Builds a linear histogram of a workload vector with bin width chosen
+/// so the figure spans [0, max] in `bins` bins — the common case for the
+/// tick-by-tick comparison figures.
+LinearHistogram workload_histogram(std::span<const std::uint64_t> loads,
+                                   std::size_t bins);
+
+}  // namespace dhtlb::stats

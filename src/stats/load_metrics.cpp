@@ -1,0 +1,77 @@
+#include "stats/load_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dhtlb::stats {
+
+double gini(std::span<const std::uint64_t> loads) {
+  if (loads.empty()) return 0.0;
+  std::vector<std::uint64_t> sorted(loads.begin(), loads.end());
+  std::sort(sorted.begin(), sorted.end());
+  // G = (2 Σ_i i*x_(i) ) / (n Σ x) - (n+1)/n, with 1-based ranks.
+  long double weighted = 0.0L;
+  long double total = 0.0L;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<long double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total == 0.0L) return 0.0;
+  const auto n = static_cast<long double>(sorted.size());
+  const long double g = (2.0L * weighted) / (n * total) - (n + 1.0L) / n;
+  return static_cast<double>(std::max(g, 0.0L));
+}
+
+double coefficient_of_variation(std::span<const std::uint64_t> loads) {
+  if (loads.empty()) return 0.0;
+  long double sum = 0.0L;
+  for (auto v : loads) sum += v;
+  const auto n = static_cast<long double>(loads.size());
+  const long double mean = sum / n;
+  if (mean == 0.0L) return 0.0;
+  long double var = 0.0L;
+  for (auto v : loads) {
+    const long double d = static_cast<long double>(v) - mean;
+    var += d * d;
+  }
+  var /= n;
+  return static_cast<double>(std::sqrt(var) / mean);
+}
+
+double jain_fairness(std::span<const std::uint64_t> loads) {
+  if (loads.empty()) return 1.0;
+  long double sum = 0.0L;
+  long double sum_sq = 0.0L;
+  for (auto v : loads) {
+    sum += v;
+    sum_sq += static_cast<long double>(v) * static_cast<long double>(v);
+  }
+  if (sum_sq == 0.0L) return 1.0;
+  const auto n = static_cast<long double>(loads.size());
+  return static_cast<double>((sum * sum) / (n * sum_sq));
+}
+
+double max_over_mean(std::span<const std::uint64_t> loads) {
+  if (loads.empty()) return 0.0;
+  std::uint64_t max_load = 0;
+  long double sum = 0.0L;
+  for (auto v : loads) {
+    max_load = std::max(max_load, v);
+    sum += v;
+  }
+  if (sum == 0.0L) return 0.0;
+  const long double mean = sum / static_cast<long double>(loads.size());
+  return static_cast<double>(static_cast<long double>(max_load) / mean);
+}
+
+double idle_fraction(std::span<const std::uint64_t> loads) {
+  if (loads.empty()) return 0.0;
+  std::size_t idle = 0;
+  for (auto v : loads) {
+    if (v == 0) ++idle;
+  }
+  return static_cast<double>(idle) / static_cast<double>(loads.size());
+}
+
+}  // namespace dhtlb::stats

@@ -1,0 +1,38 @@
+// Load-imbalance metrics over a vector of per-node workloads.
+//
+// The paper reports median workload and standard deviation (Table I) and
+// reasons informally about "how unbalanced" a network is.  For the test
+// suite and the ablation benches we add the standard quantitative
+// imbalance measures: Gini coefficient, coefficient of variation, Jain's
+// fairness index, and the max/mean imbalance factor (which lower-bounds
+// the runtime factor of a no-strategy run when every node consumes one
+// task per tick).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dhtlb::stats {
+
+/// Gini coefficient in [0, 1); 0 = perfectly equal.  Empty or all-zero
+/// input yields 0.
+double gini(std::span<const std::uint64_t> loads);
+
+/// Coefficient of variation: stddev / mean (population stddev).  0 when
+/// the mean is 0.
+double coefficient_of_variation(std::span<const std::uint64_t> loads);
+
+/// Jain's fairness index: (Σx)^2 / (n·Σx^2), in (0, 1]; 1 = equal.
+/// Returns 1 for empty or all-zero input (vacuously fair).
+double jain_fairness(std::span<const std::uint64_t> loads);
+
+/// max(load) / mean(load); 1 = perfectly balanced.  Returns 0 when the
+/// mean is 0.  For a homogeneous 1-task-per-tick network with no
+/// rebalancing, the runtime factor equals exactly this value.
+double max_over_mean(std::span<const std::uint64_t> loads);
+
+/// Fraction of nodes with zero work (the "idle fraction" the figures
+/// highlight via the leftmost histogram bar).
+double idle_fraction(std::span<const std::uint64_t> loads);
+
+}  // namespace dhtlb::stats

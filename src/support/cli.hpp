@@ -1,0 +1,59 @@
+// Minimal command-line flag parser for the driver binaries.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag` forms,
+// with typed accessors, defaults, and a generated --help text.  No
+// external dependencies, no global state; deliberately small — the
+// drivers need a dozen flags, not a framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dhtlb::support {
+
+class CliParser {
+ public:
+  /// Registers a flag before parsing.  `value_name` empty = boolean flag.
+  void add_flag(const std::string& name, const std::string& value_name,
+                const std::string& default_value,
+                const std::string& description);
+
+  /// Parses argv.  Returns false (with a message in error()) on unknown
+  /// flags, missing values, or repeated flags.  Positional arguments are
+  /// collected in positionals().
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::uint64_t get_u64(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integers, e.g. "--snapshots 0,5,35".
+  std::vector<std::uint64_t> get_u64_list(const std::string& name) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  const std::string& error() const { return error_; }
+
+  /// Usage text generated from the registered flags.
+  std::string help(const std::string& program,
+                   const std::string& summary) const;
+
+ private:
+  struct Flag {
+    std::string value_name;  // empty = boolean
+    std::string default_value;
+    std::string description;
+    std::optional<std::string> parsed;
+  };
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;  // registration order, for help()
+  std::vector<std::string> positionals_;
+  std::string error_;
+};
+
+}  // namespace dhtlb::support

@@ -1,0 +1,27 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace dhtlb::support {
+
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+std::size_t env_trials(std::size_t fallback) {
+  const std::uint64_t v = env_u64("DHTLB_TRIALS", 0);
+  return v == 0 ? fallback : static_cast<std::size_t>(v);
+}
+
+std::uint64_t env_seed() { return env_u64("DHTLB_SEED", 0x5EEDBA5EULL); }
+
+std::size_t env_threads() {
+  return static_cast<std::size_t>(env_u64("DHTLB_THREADS", 0));
+}
+
+}  // namespace dhtlb::support

@@ -1,0 +1,30 @@
+// Environment-variable knobs shared by the bench/reproduction binaries.
+//
+// The paper averages most cells over 100 trials.  Full fidelity is
+// reproducible here but takes a while on a laptop, so each reproduction
+// binary honours:
+//   DHTLB_TRIALS  — override the trial count (0/unset = binary's default)
+//   DHTLB_SEED    — override the base RNG seed
+//   DHTLB_THREADS — worker threads for the trial fan (0/unset = all cores)
+// EXPERIMENTS.md records which settings produced the committed numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dhtlb::support {
+
+/// Reads an unsigned integer env var; returns fallback when unset, empty,
+/// or unparseable.
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback);
+
+/// Trial count for a reproduction binary: DHTLB_TRIALS or the default.
+std::size_t env_trials(std::size_t fallback);
+
+/// Base seed: DHTLB_SEED or the project-wide default 0x5EEDBA5E.
+std::uint64_t env_seed();
+
+/// Thread count for trial fans: DHTLB_THREADS or 0 (= hardware).
+std::size_t env_threads();
+
+}  // namespace dhtlb::support

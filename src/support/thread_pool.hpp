@@ -1,0 +1,59 @@
+// Minimal fixed-size thread pool for embarrassingly parallel trial fans.
+//
+// The experiment harness runs N independent simulation trials; each trial
+// is seeded deterministically, so results are identical regardless of the
+// execution order or degree of parallelism.  This pool provides exactly
+// what that needs — submit, wait-for-all, and a parallel_for convenience —
+// and nothing speculative (no futures-of-futures, no priorities).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dhtlb::support {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task.  Tasks must not throw; a throwing task terminates
+  /// (simulation code reports errors through return values, not
+  /// exceptions crossing thread boundaries).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
+  /// until all iterations complete.  fn must be safe to call concurrently
+  /// for distinct i.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace dhtlb::support

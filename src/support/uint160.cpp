@@ -1,0 +1,77 @@
+#include "support/uint160.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace dhtlb::support {
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kHexDigitsLower[] = "0123456789abcdef";
+
+}  // namespace
+
+Uint160 Uint160::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.size() > kHexDigits) {
+    throw std::invalid_argument("Uint160::from_hex: more than 40 hex digits");
+  }
+  std::array<std::uint8_t, 20> bytes{};
+  // Right-align: the last hex digit is the least significant nibble.
+  std::size_t nibble = 39;  // nibble index from the most significant end
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it, --nibble) {
+    const int v = hex_value(*it);
+    if (v < 0) {
+      throw std::invalid_argument("Uint160::from_hex: non-hex character");
+    }
+    const std::size_t byte = nibble / 2;
+    if (nibble % 2 == 1) {
+      bytes[byte] |= static_cast<std::uint8_t>(v);
+    } else {
+      bytes[byte] |= static_cast<std::uint8_t>(v << 4);
+    }
+  }
+  return from_bytes(bytes);
+}
+
+std::string Uint160::to_hex() const {
+  std::string out(kHexDigits, '0');
+  const auto bytes = to_bytes();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out[2 * i] = kHexDigitsLower[bytes[i] >> 4];
+    out[2 * i + 1] = kHexDigitsLower[bytes[i] & 0xF];
+  }
+  return out;
+}
+
+std::string Uint160::to_short_hex() const {
+  return to_hex().substr(0, 8) + "..";
+}
+
+double Uint160::to_unit_interval() const {
+  // Accumulate limbs most-significant first; each limb contributes
+  // limb / 2^(32*(i+1)).  Double precision keeps ~53 significant bits,
+  // which is ample for plotting and ratio computations.
+  double acc = 0.0;
+  double scale = 1.0;
+  for (int i = 0; i < kLimbs; ++i) {
+    scale /= 4294967296.0;  // 2^32
+    acc += static_cast<double>(limbs_[static_cast<std::size_t>(i)]) * scale;
+  }
+  return acc;
+}
+
+std::ostream& operator<<(std::ostream& os, const Uint160& v) {
+  return os << v.to_hex();
+}
+
+}  // namespace dhtlb::support

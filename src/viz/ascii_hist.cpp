@@ -1,0 +1,100 @@
+#include "viz/ascii_hist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace dhtlb::viz {
+
+namespace {
+
+std::string range_label(const stats::Bin& bin) {
+  std::ostringstream out;
+  out << '[' << support::format_fixed(bin.lo, 0) << ", "
+      << support::format_fixed(bin.hi, 0) << ')';
+  return out.str();
+}
+
+std::string bar(std::uint64_t count, std::uint64_t max_count,
+                std::size_t width) {
+  if (max_count == 0) return {};
+  const auto cols = static_cast<std::size_t>(
+      static_cast<double>(count) / static_cast<double>(max_count) *
+      static_cast<double>(width));
+  // Nonzero counts always get at least one mark so they stay visible.
+  return std::string(count > 0 ? std::max<std::size_t>(cols, 1) : 0, '#');
+}
+
+}  // namespace
+
+std::string render_histogram(const std::vector<stats::Bin>& bins,
+                             const HistRenderOptions& options) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (bins.empty()) return out.str();
+
+  std::uint64_t max_count = 0;
+  std::uint64_t total = 0;
+  std::size_t label_width = 0;
+  for (const auto& bin : bins) {
+    max_count = std::max(max_count, bin.count);
+    total += bin.count;
+    label_width = std::max(label_width, range_label(bin).size());
+  }
+  for (const auto& bin : bins) {
+    const std::string label = range_label(bin);
+    out << label << std::string(label_width - label.size(), ' ') << ' '
+        << bar(bin.count, max_count, options.bar_width) << ' ' << bin.count;
+    if (options.show_percent && total > 0) {
+      out << " ("
+          << support::format_fixed(100.0 * static_cast<double>(bin.count) /
+                                       static_cast<double>(total),
+                                   1)
+          << "%)";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_comparison(const std::vector<stats::Bin>& left,
+                              std::string_view left_label,
+                              const std::vector<stats::Bin>& right,
+                              std::string_view right_label,
+                              std::size_t bar_width) {
+  std::ostringstream out;
+  const std::size_t rows = std::max(left.size(), right.size());
+  std::uint64_t max_count = 0;
+  for (const auto& bin : left) max_count = std::max(max_count, bin.count);
+  for (const auto& bin : right) max_count = std::max(max_count, bin.count);
+
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& src = i < left.size() ? left[i] : right[i];
+    label_width = std::max(label_width, range_label(src).size());
+  }
+
+  out << std::string(label_width, ' ') << ' ' << left_label
+      << std::string(
+             bar_width + 8 > left_label.size()
+                 ? bar_width + 8 - left_label.size()
+                 : 1,
+             ' ')
+      << "| " << right_label << '\n';
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& bin = i < left.size() ? left[i] : right[i];
+    const std::string label = range_label(bin);
+    const std::uint64_t lcount = i < left.size() ? left[i].count : 0;
+    const std::uint64_t rcount = i < right.size() ? right[i].count : 0;
+    const std::string lbar = bar(lcount, max_count, bar_width);
+    out << label << std::string(label_width - label.size(), ' ') << ' '
+        << lbar << ' ' << lcount;
+    const std::size_t used = lbar.size() + 1 + std::to_string(lcount).size();
+    out << std::string(used < bar_width + 8 ? bar_width + 8 - used : 1, ' ')
+        << "| " << bar(rcount, max_count, bar_width) << ' ' << rcount << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dhtlb::viz

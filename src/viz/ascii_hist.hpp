@@ -1,0 +1,33 @@
+// ASCII rendering of workload histograms — the terminal counterpart of
+// the paper's Figures 1 and 4-14.  Each bin is one row: range label,
+// count, and a bar scaled to the widest bin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace dhtlb::viz {
+
+struct HistRenderOptions {
+  std::size_t bar_width = 60;   // columns for the widest bar
+  bool show_percent = true;     // append percentage of samples
+  std::string title;            // optional heading line
+};
+
+/// Renders bins (from LinearHistogram/LogHistogram::bins()) as rows of
+/// '#' bars.  Empty input renders just the title.
+std::string render_histogram(const std::vector<stats::Bin>& bins,
+                             const HistRenderOptions& options = {});
+
+/// Renders two distributions side by side (e.g. "no strategy" vs
+/// "churn 0.01" at the same tick), sharing bin edges and bar scale —
+/// the layout of the paper's comparison figures.
+std::string render_comparison(const std::vector<stats::Bin>& left,
+                              std::string_view left_label,
+                              const std::vector<stats::Bin>& right,
+                              std::string_view right_label,
+                              std::size_t bar_width = 28);
+
+}  // namespace dhtlb::viz

@@ -1,0 +1,62 @@
+#include "viz/ring_layout.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "support/ring_math.hpp"
+#include "support/table.hpp"
+
+namespace dhtlb::viz {
+
+RingPoint ring_point(const support::Uint160& id, char kind) {
+  RingPoint p;
+  p.id = id;
+  p.kind = kind;
+  const double theta =
+      2.0 * std::numbers::pi * support::ring_fraction(id);
+  // Paper's convention: x = sin, y = cos — angle measured clockwise from
+  // the top of the circle, so ID 0 sits at 12 o'clock.
+  p.x = std::sin(theta);
+  p.y = std::cos(theta);
+  return p;
+}
+
+std::string render_ring(const std::vector<RingPoint>& points,
+                        std::size_t diameter) {
+  const std::size_t size = diameter | 1;  // odd => true center cell
+  std::vector<std::string> grid(size, std::string(size, ' '));
+  const double radius = static_cast<double>(size - 1) / 2.0;
+
+  auto plot = [&](const RingPoint& p, char mark) {
+    const auto col = static_cast<std::size_t>(
+        std::lround(radius + p.x * radius));
+    const auto row = static_cast<std::size_t>(
+        std::lround(radius - p.y * radius));
+    grid[row][col] = mark;
+  };
+  // Tasks first, nodes second: a node overdraws a co-located task.
+  for (const auto& p : points) {
+    if (p.kind == 't') plot(p, '+');
+  }
+  for (const auto& p : points) {
+    if (p.kind == 'n') plot(p, 'O');
+  }
+
+  std::ostringstream out;
+  for (const auto& row : grid) out << row << '\n';
+  return out.str();
+}
+
+std::string ring_csv(const std::vector<RingPoint>& points) {
+  std::ostringstream out;
+  out << "kind,id,x,y\n";
+  for (const auto& p : points) {
+    out << (p.kind == 'n' ? "node" : "task") << ',' << p.id.to_hex() << ','
+        << support::format_fixed(p.x, 6) << ','
+        << support::format_fixed(p.y, 6) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dhtlb::viz

@@ -1,0 +1,33 @@
+// Unit-circle ring layout (the paper's Figures 2-3): maps 160-bit IDs to
+// (x, y) on the unit circle via x = sin(2π·id/2^160), y = cos(2π·id/2^160)
+// and renders a coarse ASCII plot plus a CSV for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/uint160.hpp"
+
+namespace dhtlb::viz {
+
+struct RingPoint {
+  support::Uint160 id;
+  char kind = 'n';  // 'n' = node, 't' = task
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Computes the paper's circle coordinates for an ID.
+RingPoint ring_point(const support::Uint160& id, char kind);
+
+/// Renders nodes ('O') and tasks ('+') on an ASCII circle of the given
+/// diameter (characters).  Nodes are drawn last so they stay visible
+/// where a task shares a cell.
+std::string render_ring(const std::vector<RingPoint>& points,
+                        std::size_t diameter = 41);
+
+/// CSV with columns kind,id,x,y — feedable to any plotting tool to
+/// regenerate Figures 2-3 exactly.
+std::string ring_csv(const std::vector<RingPoint>& points);
+
+}  // namespace dhtlb::viz

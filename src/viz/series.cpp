@@ -1,0 +1,109 @@
+#include "viz/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace dhtlb::viz {
+
+std::vector<double> bucket_means(std::span<const std::uint64_t> series,
+                                 std::size_t buckets) {
+  std::vector<double> means;
+  if (series.empty() || buckets == 0) return means;
+  buckets = std::min(buckets, series.size());
+  means.reserve(buckets);
+  // Even slicing by index arithmetic: bucket b covers
+  // [b*n/buckets, (b+1)*n/buckets).
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * series.size() / buckets;
+    const std::size_t hi = (b + 1) * series.size() / buckets;
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      sum += static_cast<double>(series[i]);
+    }
+    means.push_back(hi > lo ? sum / static_cast<double>(hi - lo) : 0.0);
+  }
+  return means;
+}
+
+namespace {
+
+std::string render_rows(const std::vector<double>& cols, double max_value,
+                        std::size_t height) {
+  std::ostringstream out;
+  for (std::size_t row = height; row >= 1; --row) {
+    const double threshold =
+        max_value * static_cast<double>(row) / static_cast<double>(height);
+    const double prev_threshold = max_value *
+                                  static_cast<double>(row - 1) /
+                                  static_cast<double>(height);
+    // Left gutter: print the scale on the top, middle and bottom rows.
+    std::string gutter(10, ' ');
+    if (row == height || row == 1 || row == (height + 1) / 2) {
+      const std::string value = dhtlb::support::format_fixed(threshold, 1);
+      gutter = value + std::string(value.size() < 9 ? 9 - value.size() : 0,
+                                   ' ') + '|';
+    } else {
+      gutter[9] = '|';
+    }
+    out << gutter;
+    for (const double v : cols) {
+      if (v >= threshold) {
+        out << '#';
+      } else if (v > prev_threshold) {
+        out << ':';  // partial fill
+      } else {
+        out << ' ';
+      }
+    }
+    out << '\n';
+  }
+  out << std::string(9, ' ') << '+' << std::string(cols.size(), '-')
+      << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_series(std::span<const std::uint64_t> series,
+                          const SeriesRenderOptions& options) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (series.empty()) return out.str();
+  const auto cols = bucket_means(series, options.width);
+  const double max_value =
+      std::max(1.0, *std::max_element(cols.begin(), cols.end()));
+  out << options.y_label << " (x axis: tick 1.."
+      << series.size() << ")\n";
+  out << render_rows(cols, max_value, options.height);
+  return out.str();
+}
+
+std::string render_series_comparison(
+    const std::vector<LabeledSeries>& series,
+    const SeriesRenderOptions& options) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  // Shared scale: max bucket mean across every series.
+  double max_value = 1.0;
+  std::size_t longest = 0;
+  for (const auto& s : series) {
+    longest = std::max(longest, s.values.size());
+    for (const double v : bucket_means(s.values, options.width)) {
+      max_value = std::max(max_value, v);
+    }
+  }
+  for (const auto& s : series) {
+    out << "-- " << s.label << " (" << s.values.size() << " ticks) --\n";
+    const auto cols = bucket_means(s.values, options.width);
+    out << render_rows(cols, max_value, options.height);
+  }
+  out << "(shared y scale, max " << support::format_fixed(max_value, 1)
+      << "; x axes span each run's own length, longest " << longest
+      << " ticks)\n";
+  return out.str();
+}
+
+}  // namespace dhtlb::viz

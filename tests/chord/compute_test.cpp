@@ -1,0 +1,99 @@
+#include "chord/compute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dhtlb::chord {
+namespace {
+
+ComputeConfig small(ComputePolicy policy) {
+  ComputeConfig c;
+  c.nodes = 32;
+  c.tasks = 1600;
+  c.policy = policy;
+  c.seed = 5;
+  return c;
+}
+
+TEST(Compute, BaselineCompletesAboveIdeal) {
+  const ComputeResult r = run_compute(small(ComputePolicy::kNone));
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.ideal_ticks, 50u);
+  EXPECT_GE(r.runtime_factor, 1.0);
+  EXPECT_EQ(r.sybils_created, 0u);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_GT(r.maintenance_messages, 0u) << "upkeep always costs messages";
+}
+
+TEST(Compute, Deterministic) {
+  const ComputeResult a = run_compute(small(ComputePolicy::kRandomInjection));
+  const ComputeResult b = run_compute(small(ComputePolicy::kRandomInjection));
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.messages.total(), b.messages.total());
+  EXPECT_EQ(a.sybils_created, b.sybils_created);
+}
+
+TEST(Compute, RandomInjectionBeatsBaseline) {
+  const ComputeResult base = run_compute(small(ComputePolicy::kNone));
+  const ComputeResult inj =
+      run_compute(small(ComputePolicy::kRandomInjection));
+  EXPECT_TRUE(inj.completed);
+  EXPECT_LT(inj.ticks, base.ticks)
+      << "the tick simulator's headline result must survive protocol "
+         "fidelity";
+  EXPECT_GT(inj.sybils_created, 0u);
+}
+
+TEST(Compute, ChurnBeatsBaselineAndLosesNoTasks) {
+  const ComputeResult base = run_compute(small(ComputePolicy::kNone));
+  ComputeConfig c = small(ComputePolicy::kChurn);
+  c.churn_rate = 0.02;
+  const ComputeResult churn = run_compute(c);
+  EXPECT_TRUE(churn.completed) << "active backup loses nothing";
+  EXPECT_GT(churn.failures, 0u);
+  EXPECT_GT(churn.joins, 0u);
+  EXPECT_LT(churn.ticks, base.ticks);
+}
+
+TEST(Compute, NeighborInjectionPlacesViaHashSearch) {
+  const ComputeResult r =
+      run_compute(small(ComputePolicy::kNeighborInjection));
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.sybils_created, 0u);
+  // Hash search inside a 1/n gap needs ~n draws per placement; random
+  // injection needs exactly one.  This is the placement-cost asymmetry.
+  EXPECT_GT(r.sybil_search_hashes, r.sybils_created);
+}
+
+TEST(Compute, RandomInjectionPaysOneHashPerPlacement) {
+  const ComputeResult r =
+      run_compute(small(ComputePolicy::kRandomInjection));
+  // Every decision draws exactly one hash whether or not the join
+  // succeeds, so hashes ~ placements.
+  EXPECT_GE(r.sybil_search_hashes, r.sybils_created);
+  EXPECT_LT(r.sybil_search_hashes, r.sybils_created + 200u);
+}
+
+TEST(Compute, TransfersHappenOnMembershipChanges) {
+  ComputeConfig c = small(ComputePolicy::kChurn);
+  c.churn_rate = 0.05;
+  const ComputeResult r = run_compute(c);
+  EXPECT_GT(r.tasks_transferred, 0u);
+}
+
+TEST(Compute, RuntimeShapeMatchesTickSimulator) {
+  // Cross-model validation: protocol-level runtime factors must order
+  // the same way the tick simulator orders them (none > churn > random
+  // injection).
+  const double base =
+      run_compute(small(ComputePolicy::kNone)).runtime_factor;
+  ComputeConfig cc = small(ComputePolicy::kChurn);
+  cc.churn_rate = 0.02;
+  const double churn = run_compute(cc).runtime_factor;
+  const double inj =
+      run_compute(small(ComputePolicy::kRandomInjection)).runtime_factor;
+  EXPECT_LT(inj, churn);
+  EXPECT_LT(churn, base);
+}
+
+}  // namespace
+}  // namespace dhtlb::chord

@@ -1,0 +1,64 @@
+// Concurrent-join convergence: Chord's stabilization must integrate
+// many nodes that joined in the same epoch (before any maintenance ran)
+// — exactly what a Sybil-strategy decision tick causes when hundreds of
+// under-utilized nodes inject Sybils simultaneously (§IV-B).
+#include <gtest/gtest.h>
+
+#include "chord/network.hpp"
+#include "hashing/sha1.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::chord {
+namespace {
+
+using support::Rng;
+
+class JoinStorm : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(JoinStorm, SimultaneousJoinsConverge) {
+  const std::size_t storm = GetParam();
+  Network net(5);
+  Rng rng(777);
+  const NodeId first = hashing::Sha1::hash_u64(rng());
+  net.create(first);
+  // Small settled base ring.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(net.join(hashing::Sha1::hash_u64(rng()), first));
+    net.stabilize(2);
+  }
+  net.stabilize(4);
+  ASSERT_TRUE(net.ring_consistent());
+
+  // The storm: every joiner bootstraps off the same node with NO
+  // stabilization in between.
+  for (std::size_t i = 0; i < storm; ++i) {
+    ASSERT_TRUE(net.join(hashing::Sha1::hash_u64(rng()), first));
+  }
+  EXPECT_EQ(net.size(), 9 + storm);
+
+  // Convergence: each round integrates at least the next joiner; a
+  // linear number of rounds must suffice.
+  int rounds = 0;
+  const int round_limit = static_cast<int>(storm) * 2 + 16;
+  while (!net.ring_consistent() && rounds < round_limit) {
+    net.maintenance_round();
+    ++rounds;
+  }
+  EXPECT_TRUE(net.ring_consistent())
+      << "storm of " << storm << " not converged after " << rounds
+      << " rounds";
+
+  // And routing is exact again.
+  const auto ids = net.node_ids();
+  for (int probe = 0; probe < 100; ++probe) {
+    const auto key = rng.uniform_u160();
+    EXPECT_EQ(net.lookup(ids[rng.below(ids.size())], key).owner,
+              net.true_owner(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StormSizes, JoinStorm,
+                         ::testing::Values(2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace dhtlb::chord

@@ -1,0 +1,119 @@
+#include "chord/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/ring_math.hpp"
+
+namespace dhtlb::chord {
+namespace {
+
+using support::Uint160;
+
+TEST(ChordNode, FreshNodeIsItsOwnSuccessor) {
+  ChordNode n(Uint160{100}, 5);
+  EXPECT_EQ(n.successor(), Uint160{100});
+  EXPECT_FALSE(n.predecessor().has_value());
+}
+
+TEST(ChordNode, SetSuccessorPrepends) {
+  ChordNode n(Uint160{100}, 5);
+  n.set_successor(Uint160{200});
+  n.set_successor(Uint160{150});
+  EXPECT_EQ(n.successor(), Uint160{150});
+  ASSERT_EQ(n.successor_list().size(), 2u);
+  EXPECT_EQ(n.successor_list()[1], Uint160{200});
+}
+
+TEST(ChordNode, SetSuccessorDeduplicates) {
+  ChordNode n(Uint160{100}, 5);
+  n.set_successor(Uint160{200});
+  n.set_successor(Uint160{150});
+  n.set_successor(Uint160{200});
+  const auto& list = n.successor_list();
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], Uint160{200});
+  EXPECT_EQ(list[1], Uint160{150});
+}
+
+TEST(ChordNode, SuccessorListIsCapped) {
+  ChordNode n(Uint160{0}, 3);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    n.set_successor(Uint160{i * 10});
+  }
+  EXPECT_EQ(n.successor_list().size(), 3u);
+}
+
+TEST(ChordNode, SetSuccessorListTruncates) {
+  ChordNode n(Uint160{0}, 2);
+  n.set_successor_list({Uint160{1}, Uint160{2}, Uint160{3}});
+  EXPECT_EQ(n.successor_list().size(), 2u);
+}
+
+TEST(ChordNode, RemoveSuccessorDropsEntry) {
+  ChordNode n(Uint160{0}, 5);
+  n.set_successor_list({Uint160{1}, Uint160{2}, Uint160{3}});
+  n.remove_successor(Uint160{2});
+  EXPECT_EQ(n.successor_list(),
+            (std::vector<Uint160>{Uint160{1}, Uint160{3}}));
+  n.remove_successor(Uint160{99});  // absent: no-op
+  EXPECT_EQ(n.successor_list().size(), 2u);
+}
+
+TEST(ChordNode, FingerStartOffsets) {
+  ChordNode n(Uint160{100}, 5);
+  EXPECT_EQ(n.finger_start(0), Uint160{101});
+  EXPECT_EQ(n.finger_start(1), Uint160{102});
+  EXPECT_EQ(n.finger_start(4), Uint160{116});
+  // Finger starts wrap around the ring.
+  ChordNode top(Uint160::max(), 5);
+  EXPECT_EQ(top.finger_start(0), Uint160::zero());
+}
+
+TEST(ChordNode, NextFingerCycles) {
+  ChordNode n(Uint160{0}, 5);
+  for (int i = 0; i < ChordNode::kFingerCount; ++i) {
+    EXPECT_EQ(n.next_finger_to_fix(), i);
+  }
+  EXPECT_EQ(n.next_finger_to_fix(), 0) << "wraps after 160";
+}
+
+TEST(ChordNode, ClosestPrecedingPrefersFarthestUsableFinger) {
+  ChordNode n(Uint160{0}, 5);
+  n.set_finger(10, Uint160{500});    // in (0, 10000)
+  n.set_finger(100, Uint160{9000});  // also in (0, 10000), farther
+  EXPECT_EQ(n.closest_preceding(Uint160{10000}), Uint160{9000});
+}
+
+TEST(ChordNode, ClosestPrecedingSkipsOvershootingFingers) {
+  ChordNode n(Uint160{0}, 5);
+  n.set_finger(100, Uint160{20000});  // past the key: unusable
+  n.set_finger(10, Uint160{500});
+  EXPECT_EQ(n.closest_preceding(Uint160{10000}), Uint160{500});
+}
+
+TEST(ChordNode, ClosestPrecedingFallsBackToSuccessorList) {
+  ChordNode n(Uint160{0}, 5);
+  n.set_successor_list({Uint160{100}, Uint160{5000}});
+  EXPECT_EQ(n.closest_preceding(Uint160{10000}), Uint160{5000});
+}
+
+TEST(ChordNode, ClosestPrecedingReturnsSelfWhenNothingKnown) {
+  ChordNode n(Uint160{42}, 5);
+  EXPECT_EQ(n.closest_preceding(Uint160{9999}), Uint160{42});
+}
+
+TEST(ChordNode, ForgetScrubsAllState) {
+  ChordNode n(Uint160{0}, 5);
+  n.set_predecessor(Uint160{7});
+  n.set_successor_list({Uint160{7}, Uint160{9}});
+  n.set_finger(3, Uint160{7});
+  n.set_finger(4, Uint160{9});
+  n.forget(Uint160{7});
+  EXPECT_FALSE(n.predecessor().has_value());
+  EXPECT_EQ(n.successor_list(), (std::vector<Uint160>{Uint160{9}}));
+  EXPECT_FALSE(n.fingers()[3].has_value());
+  EXPECT_EQ(n.fingers()[4], Uint160{9});
+}
+
+}  // namespace
+}  // namespace dhtlb::chord

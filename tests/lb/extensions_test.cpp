@@ -1,0 +1,244 @@
+// Tests for the future-work extension strategies (§VII): strength-aware
+// acquisition and chosen-ID (median-split) Sybil placement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lb/chosen_id.hpp"
+#include "lb/factory.hpp"
+#include "lb/strength_aware.hpp"
+#include "sim/engine.hpp"
+#include "support/ring_math.hpp"
+
+namespace dhtlb::lb {
+namespace {
+
+using sim::Engine;
+using sim::Params;
+using sim::World;
+using support::Rng;
+using support::Uint160;
+
+Params het_params(std::size_t nodes = 200, std::uint64_t tasks = 20'000) {
+  Params p;
+  p.initial_nodes = nodes;
+  p.total_tasks = tasks;
+  p.heterogeneous = true;
+  p.work_measure = sim::WorkMeasure::kStrengthPerTick;
+  return p;
+}
+
+// --- factory wiring --------------------------------------------------------
+
+TEST(ExtensionFactory, NamesConstruct) {
+  EXPECT_EQ(make_strategy("strength-aware")->name(), "strength-aware");
+  EXPECT_EQ(make_strategy("chosen-id-neighbor")->name(),
+            "chosen-id-neighbor");
+  EXPECT_EQ(make_strategy("chosen-id-global")->name(), "chosen-id-global");
+  for (const auto name : extension_strategy_names()) {
+    EXPECT_NO_THROW(make_strategy(name)) << name;
+  }
+}
+
+TEST(ExtensionFactory, ExtensionsNotInPaperList) {
+  const auto paper = strategy_names();
+  for (const auto name : extension_strategy_names()) {
+    EXPECT_EQ(std::find(paper.begin(), paper.end(), name), paper.end())
+        << name << " must not masquerade as a paper strategy";
+  }
+}
+
+// --- median key query (World support) --------------------------------------
+
+TEST(MedianTaskKey, SplitsKeysExactlyInHalf) {
+  Rng rng(1);
+  Params p;
+  p.initial_nodes = 10;
+  p.total_tasks = 5000;
+  World w(p, rng);
+  for (const auto idx : w.alive_indices()) {
+    const Uint160 vid = w.physical(idx).vnode_ids[0];
+    const sim::ArcView arc = w.arc_of(vid);
+    if (arc.task_count < 2) continue;
+    const auto median = w.median_task_key(vid);
+    ASSERT_TRUE(median.has_value());
+    // A Sybil at the median acquires the lower half: ceil(n/2) keys for
+    // the lower-median convention.
+    const std::uint64_t before = arc.task_count;
+    const auto acquired = w.create_sybil(w.alive_indices()[0], *median);
+    if (!acquired) continue;  // median collided with an existing vnode
+    EXPECT_EQ(*acquired, (before + 1) / 2)
+        << "median split must take exactly the lower half";
+    break;  // one verification is enough; the loop guards degenerate arcs
+  }
+}
+
+TEST(MedianTaskKey, EmptyVnodeHasNoMedian) {
+  Rng rng(2);
+  Params p;
+  p.initial_nodes = 5;
+  p.total_tasks = 100;
+  World w(p, rng);
+  const auto idx = w.alive_indices()[0];
+  (void)w.consume(idx, w.workload(idx));
+  EXPECT_FALSE(
+      w.median_task_key(w.physical(idx).vnode_ids[0]).has_value());
+}
+
+TEST(ArcCovering, AgreesWithOwnershipRule) {
+  Rng rng(3);
+  Params p;
+  p.initial_nodes = 50;
+  p.total_tasks = 100;
+  World w(p, rng);
+  Rng probe(4);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 point = probe.uniform_u160();
+    const sim::ArcView arc = w.arc_covering(point);
+    EXPECT_TRUE(support::in_half_open_arc(point, arc.pred, arc.id));
+  }
+}
+
+// --- chosen-ID strategy -----------------------------------------------------
+
+TEST(ChosenId, DoesNotLoseToMidpointPlacement) {
+  // The exact-median split is at least as good as the smart-neighbor
+  // midpoint split under the same information model (in the
+  // neighborhood model the binding constraint is reach, so the two run
+  // nearly equal; the median must simply not lose).
+  double midpoint = 0.0, median = 0.0;
+  constexpr int kTrials = 4;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    Params p;
+    p.initial_nodes = 200;
+    p.total_tasks = 20'000;
+    midpoint += Engine(p, seed, make_strategy("smart-neighbor-injection"))
+                    .run()
+                    .runtime_factor;
+    median += Engine(p, seed, make_strategy("chosen-id-neighbor"))
+                  .run()
+                  .runtime_factor;
+  }
+  EXPECT_LE(median / kTrials, midpoint / kTrials + 0.1);
+}
+
+TEST(ChosenId, GlobalReachBeatsNeighborhoodReach) {
+  // What actually limits neighborhood strategies is reach, not split
+  // precision: the same median split applied to globally sampled
+  // victims must be clearly faster.
+  double local = 0.0, global = 0.0;
+  constexpr int kTrials = 4;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    Params p;
+    p.initial_nodes = 200;
+    p.total_tasks = 20'000;
+    local += Engine(p, seed, make_strategy("chosen-id-neighbor"))
+                 .run()
+                 .runtime_factor;
+    global += Engine(p, seed, make_strategy("chosen-id-global"))
+                  .run()
+                  .runtime_factor;
+  }
+  EXPECT_LT(global, local);
+}
+
+TEST(ChosenId, GlobalScopeCompletesAndBalances) {
+  Params p;
+  p.initial_nodes = 200;
+  p.total_tasks = 20'000;
+  Engine engine(p, 7, make_strategy("chosen-id-global"));
+  const auto r = engine.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_LT(r.runtime_factor, 3.0);
+  EXPECT_GT(r.strategy_counters.workload_queries, 0u);
+}
+
+TEST(ChosenId, PaysQueryCosts) {
+  Params p;
+  p.initial_nodes = 100;
+  p.total_tasks = 10'000;
+  Engine engine(p, 8, make_strategy("chosen-id-neighbor"));
+  const auto r = engine.run();
+  // Every decision probes successors AND pays a median query per split.
+  EXPECT_GT(r.strategy_counters.workload_queries,
+            r.strategy_counters.sybils_created);
+}
+
+// --- strength-aware strategy ------------------------------------------------
+
+TEST(StrengthAwareTest, HomogeneousReducesToThresholdBehavior) {
+  // With strength 1 everywhere the appetite equals the sybilThreshold,
+  // so eligibility matches the paper strategies'.
+  Rng rng(9);
+  Params p;
+  p.initial_nodes = 20;
+  p.total_tasks = 2000;
+  World w(p, rng);
+  StrengthAware strat;
+  sim::StrategyCounters c;
+  Rng decision_rng(10);
+  strat.decide(w, decision_rng, c);
+  EXPECT_EQ(c.sybils_created, 0u)
+      << "nobody is idle yet, so nobody may acquire";
+}
+
+TEST(StrengthAwareTest, StrongIdleNodeTakesProportionalShare) {
+  Rng rng(11);
+  Params p = het_params(50, 10'000);
+  World w(p, rng);
+  // Find a strong node (strength >= 4) and drain it.
+  std::optional<sim::NodeIndex> strong;
+  for (const auto idx : w.alive_indices()) {
+    if (w.physical(idx).strength >= 4) {
+      strong = idx;
+      break;
+    }
+  }
+  ASSERT_TRUE(strong.has_value());
+  (void)w.consume(*strong, w.workload(*strong));
+
+  StrengthAware strat;
+  sim::StrategyCounters c;
+  Rng decision_rng(12);
+  strat.decide(w, decision_rng, c);
+  EXPECT_GE(c.sybils_created, 1u);
+  EXPECT_GT(w.workload(*strong), 0u) << "the strong node acquired work";
+}
+
+TEST(StrengthAwareTest, ImprovesHeterogeneousRuntimeOverRandomInjection) {
+  // The whole point of the extension (§VII): in heterogeneous networks
+  // with strength-based consumption, weighting acquisition by strength
+  // should beat strength-blind random injection on average.
+  double random_inj = 0.0, aware = 0.0;
+  constexpr int kTrials = 5;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    random_inj += Engine(het_params(), seed,
+                         make_strategy("random-injection"))
+                      .run()
+                      .runtime_factor;
+    aware += Engine(het_params(), seed, make_strategy("strength-aware"))
+                 .run()
+                 .runtime_factor;
+  }
+  EXPECT_LT(aware, random_inj);
+}
+
+TEST(StrengthAwareTest, CompletesOnEveryNetworkShape) {
+  for (const bool het : {false, true}) {
+    for (const auto measure : {sim::WorkMeasure::kOneTaskPerTick,
+                               sim::WorkMeasure::kStrengthPerTick}) {
+      Params p;
+      p.initial_nodes = 100;
+      p.total_tasks = 5000;
+      p.heterogeneous = het;
+      p.work_measure = measure;
+      Engine engine(p, 13, make_strategy("strength-aware"));
+      const auto r = engine.run();
+      EXPECT_TRUE(r.completed) << "het=" << het;
+      EXPECT_TRUE(engine.world().check_invariants());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhtlb::lb

@@ -1,0 +1,167 @@
+#include "sim/backup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hashing/sha1.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::sim {
+namespace {
+
+using Id = support::Uint160;
+using support::Rng;
+
+std::vector<Id> make_nodes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Id> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(hashing::Sha1::hash_u64(rng()));
+  }
+  return nodes;
+}
+
+TEST(BackupRing, ConstructionValidation) {
+  EXPECT_THROW(BackupRing({}, 3), std::invalid_argument);
+  EXPECT_THROW(BackupRing(make_nodes(3, 1), 0), std::invalid_argument);
+  std::vector<Id> dup{Id{1}, Id{1}};
+  EXPECT_THROW(BackupRing(dup, 2), std::invalid_argument);
+}
+
+TEST(BackupRing, KeysGetReplicationCopies) {
+  BackupRing ring(make_nodes(20, 2), 5);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Id key = rng.uniform_u160();
+    ring.add_key(key);
+    EXPECT_EQ(ring.copies_of(key), 5u);
+    EXPECT_TRUE(ring.key_alive(key));
+  }
+  EXPECT_EQ(ring.total_keys(), 50u);
+  EXPECT_EQ(ring.lost_keys(), 0u);
+}
+
+TEST(BackupRing, ReplicationClampsToRingSize) {
+  BackupRing ring(make_nodes(3, 4), 5);
+  ring.add_key(Id{42});
+  EXPECT_EQ(ring.copies_of(Id{42}), 3u) << "only 3 nodes exist";
+}
+
+TEST(BackupRing, SingleFailureNeverLosesData) {
+  // §IV-A: "a node suddenly dying is of minimal impact".
+  auto nodes = make_nodes(30, 5);
+  BackupRing ring(nodes, 5);
+  Rng rng(6);
+  std::vector<Id> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back(rng.uniform_u160());
+    ring.add_key(keys.back());
+  }
+  ring.fail_node(nodes[7]);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(ring.key_alive(key));
+  }
+  EXPECT_EQ(ring.lost_keys(), 0u);
+}
+
+TEST(BackupRing, SurvivesRMinus1AdjacentFailuresWithoutRepair) {
+  auto nodes = make_nodes(30, 7);
+  std::sort(nodes.begin(), nodes.end());
+  BackupRing ring(nodes, 5);
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) ring.add_key(rng.uniform_u160());
+  // Kill 4 ring-adjacent nodes with no repair in between: every key had
+  // 5 copies on consecutive nodes, so one copy must survive.
+  for (int k = 3; k < 7; ++k) ring.fail_node(nodes[static_cast<std::size_t>(k)]);
+  EXPECT_EQ(ring.lost_keys(), 0u);
+}
+
+TEST(BackupRing, RAdjacentFailuresCanLoseData) {
+  // The negative control: replication r cannot survive r adjacent
+  // simultaneous failures for keys homed exactly on that run of nodes.
+  auto nodes = make_nodes(30, 9);
+  std::sort(nodes.begin(), nodes.end());
+  BackupRing ring(nodes, 3);
+  // Place a key JUST before nodes[10] so its replica set is exactly
+  // nodes[10..12].
+  const Id key = nodes[10] - Id{1};
+  ring.add_key(key);
+  ring.fail_node(nodes[10]);
+  ring.fail_node(nodes[11]);
+  ring.fail_node(nodes[12]);
+  EXPECT_FALSE(ring.key_alive(key));
+  EXPECT_EQ(ring.lost_keys(), 1u);
+}
+
+TEST(BackupRing, RepairRestoresFullReplication) {
+  auto nodes = make_nodes(25, 10);
+  BackupRing ring(nodes, 5);
+  Rng rng(11);
+  std::vector<Id> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(rng.uniform_u160());
+    ring.add_key(keys.back());
+  }
+  ring.fail_node(nodes[0]);
+  ring.fail_node(nodes[1]);
+  const std::uint64_t transfers = ring.repair();
+  EXPECT_GT(transfers, 0u);
+  for (const auto& key : keys) {
+    EXPECT_EQ(ring.copies_of(key), 5u);
+  }
+  EXPECT_EQ(ring.repair(), 0u) << "repair is idempotent once converged";
+}
+
+TEST(BackupRing, FailRepairCycleSurvivesSustainedChurn) {
+  // The ChordReduce claim: with a repair cycle per tick, the network
+  // recovers from sustained churn without data loss as long as fewer
+  // than r adjacent nodes die per cycle.
+  auto nodes = make_nodes(40, 12);
+  BackupRing ring(nodes, 5);
+  Rng rng(13);
+  for (int i = 0; i < 400; ++i) ring.add_key(rng.uniform_u160());
+  Rng churn_rng(14);
+  std::vector<Id> membership = nodes;
+  for (int tick = 0; tick < 100; ++tick) {
+    // One failure and one join per tick (2.5% churn on 40 nodes), with
+    // a repair cycle after each — the paper's one-maintenance-per-tick
+    // assumption.
+    const std::size_t victim =
+        static_cast<std::size_t>(churn_rng.below(membership.size()));
+    ring.fail_node(membership[victim]);
+    membership.erase(membership.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+    const Id joiner = hashing::Sha1::hash_u64(churn_rng());
+    ASSERT_TRUE(ring.join_node(joiner));
+    membership.push_back(joiner);
+    ring.repair();
+  }
+  EXPECT_EQ(ring.lost_keys(), 0u)
+      << "one failure per repair cycle must never lose data at r=5";
+  EXPECT_EQ(ring.live_nodes(), 40u);
+}
+
+TEST(BackupRing, JoinersHoldNothingUntilRepair) {
+  auto nodes = make_nodes(10, 15);
+  BackupRing ring(nodes, 3);
+  const Id key{1234567};
+  ring.add_key(key);
+  const std::size_t before = ring.copies_of(key);
+  // A joiner landing inside the key's replica run takes over a slot
+  // only after repair.
+  const Id joiner = key + Id{1};
+  ASSERT_TRUE(ring.join_node(joiner));
+  EXPECT_EQ(ring.copies_of(key), before) << "no copies moved yet";
+  ring.repair();
+  EXPECT_EQ(ring.copies_of(key), 3u);
+  EXPECT_TRUE(ring.key_alive(key));
+}
+
+TEST(BackupRing, DuplicateJoinRejected) {
+  auto nodes = make_nodes(5, 16);
+  BackupRing ring(nodes, 2);
+  EXPECT_FALSE(ring.join_node(nodes[2]));
+  EXPECT_TRUE(ring.join_node(Id{999}));
+}
+
+}  // namespace
+}  // namespace dhtlb::sim

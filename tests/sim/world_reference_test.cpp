@@ -1,0 +1,149 @@
+// Differential test: sim::World against a brute-force reference model.
+//
+// The reference holds the exact task keys and recomputes ownership and
+// workloads from first principles on every check — no incremental
+// caches, no split/merge shortcuts.  A long randomized sequence of
+// membership operations must keep the two models exactly equal.  This
+// is the strongest guard on the split/merge/cache bookkeeping every
+// experiment depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/world.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::sim {
+namespace {
+
+using support::Uint160;
+
+/// Brute-force mirror: flat key multiset + vnode->owner map; every
+/// query is a full scan.
+class ReferenceModel {
+ public:
+  void add_vnode(const Uint160& id, NodeIndex owner) { vnodes_[id] = owner; }
+  void remove_vnode(const Uint160& id) { vnodes_.erase(id); }
+  void add_key(const Uint160& key) { keys_.insert(key); }
+
+  Uint160 owner_vnode(const Uint160& key) const {
+    auto it = vnodes_.lower_bound(key);
+    if (it == vnodes_.end()) it = vnodes_.begin();
+    return it->first;
+  }
+
+  std::map<NodeIndex, std::uint64_t> owner_loads() const {
+    std::map<NodeIndex, std::uint64_t> loads;
+    for (const auto& key : keys_) {
+      loads[vnodes_.at(owner_vnode(key))] += 1;
+    }
+    return loads;
+  }
+
+  std::multiset<Uint160> vnode_keys(const Uint160& vnode) const {
+    std::multiset<Uint160> out;
+    for (const auto& key : keys_) {
+      if (owner_vnode(key) == vnode) out.insert(key);
+    }
+    return out;
+  }
+
+  std::uint64_t total_keys() const { return keys_.size(); }
+  const std::map<Uint160, NodeIndex>& vnodes() const { return vnodes_; }
+
+ private:
+  std::map<Uint160, NodeIndex> vnodes_;
+  std::multiset<Uint160> keys_;
+};
+
+class WorldReferenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorldReferenceTest, RandomMembershipSequenceMatchesReference) {
+  const std::uint64_t seed = GetParam();
+  support::Rng world_rng(seed);
+  Params params;
+  params.initial_nodes = 12;
+  params.total_tasks = 600;
+  World world(params, world_rng);
+
+  // Mirror the exact initial state (vnodes + real keys).
+  ReferenceModel ref;
+  for (const NodeIndex idx : world.alive_indices()) {
+    for (const auto& vid : world.physical(idx).vnode_ids) {
+      ref.add_vnode(vid, idx);
+      for (const auto& key : world.vnode_keys(vid)) ref.add_key(key);
+    }
+  }
+  ASSERT_EQ(ref.total_keys(), world.remaining_tasks());
+
+  auto check_agreement = [&](int step) {
+    ASSERT_EQ(ref.vnodes().size(), world.vnode_count()) << "step " << step;
+    const auto ref_loads = ref.owner_loads();
+    for (const auto& [vid, owner] : ref.vnodes()) {
+      ASSERT_TRUE(world.ring_contains(vid)) << "step " << step;
+      const ArcView arc = world.arc_of(vid);
+      ASSERT_EQ(arc.owner, owner) << "step " << step;
+      // Exact key-set agreement per vnode.
+      const auto& world_keys = world.vnode_keys(vid);
+      const std::multiset<Uint160> world_set(world_keys.begin(),
+                                             world_keys.end());
+      ASSERT_EQ(world_set, ref.vnode_keys(vid))
+          << "vnode " << vid << " at step " << step;
+    }
+    for (const NodeIndex a : world.alive_indices()) {
+      const auto it = ref_loads.find(a);
+      const std::uint64_t expected =
+          it == ref_loads.end() ? 0 : it->second;
+      ASSERT_EQ(world.workload(a), expected)
+          << "owner " << a << " at step " << step;
+    }
+    ASSERT_EQ(ref.total_keys(), world.remaining_tasks());
+  };
+
+  support::Rng op_rng(seed + 1);
+  for (int step = 0; step < 100; ++step) {
+    const auto alive = world.alive_indices();
+    const NodeIndex idx = alive[op_rng.below(alive.size())];
+    switch (op_rng.below(4)) {
+      case 0: {  // sybil at an explicit fresh ID
+        const Uint160 id = op_rng.uniform_u160();
+        if (world.create_sybil(idx, id)) ref.add_vnode(id, idx);
+        break;
+      }
+      case 1: {  // retire all sybils
+        const auto& ids = world.physical(idx).vnode_ids;
+        for (std::size_t i = ids.size(); i-- > 1;) {
+          ref.remove_vnode(ids[i]);
+        }
+        world.remove_sybils(idx);
+        break;
+      }
+      case 2: {  // departure (all vnodes go)
+        if (world.alive_count() <= 1) break;
+        const auto ids = world.physical(idx).vnode_ids;  // copy
+        if (world.depart(idx)) {
+          for (const auto& vid : ids) ref.remove_vnode(vid);
+        }
+        break;
+      }
+      case 3: {  // join from the waiting pool
+        const std::size_t before = world.vnode_count();
+        const auto joined = world.join_from_pool();
+        if (joined && world.vnode_count() == before + 1) {
+          ref.add_vnode(world.physical(*joined).vnode_ids.front(),
+                        *joined);
+        }
+        break;
+      }
+    }
+    check_agreement(step);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldReferenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+}  // namespace
+}  // namespace dhtlb::sim

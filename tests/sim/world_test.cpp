@@ -1,0 +1,297 @@
+#include "sim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/ring_math.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::sim {
+namespace {
+
+using support::Rng;
+using support::Uint160;
+
+Params small_params(std::size_t nodes = 50, std::uint64_t tasks = 5000) {
+  Params p;
+  p.initial_nodes = nodes;
+  p.total_tasks = tasks;
+  return p;
+}
+
+TEST(World, InitialPopulationShape) {
+  Rng rng(1);
+  const World w(small_params(), rng);
+  EXPECT_EQ(w.alive_count(), 50u);
+  EXPECT_EQ(w.waiting_count(), 50u) << "waiting pool equals network size";
+  EXPECT_EQ(w.vnode_count(), 50u);
+  EXPECT_EQ(w.remaining_tasks(), 5000u);
+  EXPECT_TRUE(w.check_invariants());
+}
+
+TEST(World, AllTasksAssignedToSomeNode) {
+  Rng rng(2);
+  const World w(small_params(), rng);
+  const auto loads = w.alive_workloads();
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}),
+            5000u);
+}
+
+TEST(World, InitialWorkloadIsSkewed) {
+  // The premise of the paper: SHA-1 placement leaves the network
+  // unbalanced — median below mean, max several times the mean.
+  Rng rng(3);
+  const World w(small_params(200, 20'000), rng);
+  const auto loads = w.alive_workloads();
+  const std::uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+  EXPECT_GT(max_load, 200u) << "max well above the mean of 100";
+}
+
+TEST(World, HomogeneousStrengthIsOne) {
+  Rng rng(4);
+  const World w(small_params(), rng);
+  for (const NodeIndex idx : w.alive_indices()) {
+    EXPECT_EQ(w.physical(idx).strength, 1u);
+    EXPECT_EQ(w.work_per_tick(idx), 1u);
+    EXPECT_EQ(w.sybil_cap(idx), 5u) << "hom cap = maxSybils";
+  }
+}
+
+TEST(World, HeterogeneousStrengthInRange) {
+  Params p = small_params(300, 1000);
+  p.heterogeneous = true;
+  p.max_sybils = 5;
+  Rng rng(5);
+  const World w(p, rng);
+  bool saw_low = false, saw_high = false;
+  for (const NodeIndex idx : w.alive_indices()) {
+    const unsigned s = w.physical(idx).strength;
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 5u);
+    EXPECT_EQ(w.sybil_cap(idx), s) << "het cap = strength";
+    saw_low |= s == 1;
+    saw_high |= s == 5;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(World, WorkMeasureStrengthChangesWorkPerTick) {
+  Params p = small_params(100, 1000);
+  p.heterogeneous = true;
+  p.work_measure = WorkMeasure::kStrengthPerTick;
+  Rng rng(6);
+  const World w(p, rng);
+  for (const NodeIndex idx : w.alive_indices()) {
+    EXPECT_EQ(w.work_per_tick(idx), w.physical(idx).strength);
+  }
+  // initial_capacity = Σ strengths > N for het networks (a.s.).
+  EXPECT_GT(w.initial_capacity(), 100u);
+}
+
+TEST(World, ConsumeRespectsBudgetAndWorkload) {
+  Rng rng(7);
+  World w(small_params(10, 1000), rng);
+  const NodeIndex idx = w.alive_indices().front();
+  const std::uint64_t before = w.workload(idx);
+  ASSERT_GT(before, 0u);
+  EXPECT_EQ(w.consume(idx, 1), 1u);
+  EXPECT_EQ(w.workload(idx), before - 1);
+  EXPECT_EQ(w.remaining_tasks(), 999u);
+  // Budget larger than workload consumes exactly the workload.
+  const std::uint64_t rest = w.workload(idx);
+  EXPECT_EQ(w.consume(idx, rest + 100), rest);
+  EXPECT_EQ(w.workload(idx), 0u);
+  EXPECT_EQ(w.consume(idx, 5), 0u) << "idle node consumes nothing";
+  EXPECT_TRUE(w.check_invariants());
+}
+
+TEST(World, CreateSybilTransfersExactArcKeys) {
+  Rng rng(8);
+  World w(small_params(5, 2000), rng);
+  const NodeIndex beneficiary = w.alive_indices()[0];
+  // Split some victim's arc at its midpoint; the beneficiary must gain
+  // exactly what the victim loses.
+  const NodeIndex victim = w.alive_indices()[1];
+  const Uint160 victim_vnode = w.physical(victim).vnode_ids[0];
+  const ArcView arc = w.arc_of(victim_vnode);
+  const Uint160 mid = support::arc_midpoint(arc.pred, arc.id);
+  const std::uint64_t victim_before = w.workload(victim);
+  const std::uint64_t bene_before = w.workload(beneficiary);
+
+  const auto acquired = w.create_sybil(beneficiary, mid);
+  ASSERT_TRUE(acquired.has_value());
+  EXPECT_EQ(w.workload(victim), victim_before - *acquired);
+  EXPECT_EQ(w.workload(beneficiary), bene_before + *acquired);
+  EXPECT_EQ(w.sybil_count(beneficiary), 1u);
+  EXPECT_EQ(w.vnode_count(), 6u);
+  EXPECT_TRUE(w.check_invariants());
+}
+
+TEST(World, CreateSybilOnTakenIdFails) {
+  Rng rng(9);
+  World w(small_params(5, 100), rng);
+  const NodeIndex idx = w.alive_indices()[0];
+  const Uint160 existing = w.physical(w.alive_indices()[1]).vnode_ids[0];
+  EXPECT_FALSE(w.create_sybil(idx, existing).has_value());
+  EXPECT_EQ(w.sybil_count(idx), 0u);
+}
+
+TEST(World, RemoveSybilsReturnsTasksToRing) {
+  Rng rng(10);
+  World w(small_params(5, 2000), rng);
+  const std::uint64_t total_before = w.remaining_tasks();
+  const NodeIndex idx = w.alive_indices()[0];
+  // Create two Sybils at arbitrary fresh positions.
+  (void)w.create_sybil(idx, Uint160{123456789});
+  (void)w.create_sybil(idx, support::Uint160::pow2(100));
+  EXPECT_EQ(w.sybil_count(idx), 2u);
+  w.remove_sybils(idx);
+  EXPECT_EQ(w.sybil_count(idx), 0u);
+  EXPECT_EQ(w.remaining_tasks(), total_before) << "no tasks lost";
+  EXPECT_EQ(w.vnode_count(), 5u);
+  EXPECT_TRUE(w.check_invariants());
+}
+
+TEST(World, DepartMovesTasksToSuccessorAndNodeToPool) {
+  Rng rng(11);
+  World w(small_params(10, 1000), rng);
+  const std::uint64_t total = w.remaining_tasks();
+  const NodeIndex idx = w.alive_indices()[3];
+  EXPECT_TRUE(w.depart(idx));
+  EXPECT_FALSE(w.physical(idx).alive);
+  EXPECT_EQ(w.alive_count(), 9u);
+  EXPECT_EQ(w.waiting_count(), 11u);
+  EXPECT_EQ(w.remaining_tasks(), total);
+  EXPECT_EQ(w.workload(idx), 0u);
+  EXPECT_TRUE(w.check_invariants());
+}
+
+TEST(World, LastNodeCannotDepart) {
+  Rng rng(12);
+  World w(small_params(1, 100), rng);
+  EXPECT_FALSE(w.depart(w.alive_indices()[0]));
+  EXPECT_EQ(w.alive_count(), 1u);
+}
+
+TEST(World, DepartWithSybilsDropsAllVnodes) {
+  Rng rng(13);
+  World w(small_params(10, 1000), rng);
+  const NodeIndex idx = w.alive_indices()[0];
+  (void)w.create_sybil(idx, Uint160{42});
+  (void)w.create_sybil(idx, Uint160::pow2(90));
+  const std::size_t vnodes_before = w.vnode_count();
+  EXPECT_TRUE(w.depart(idx));
+  EXPECT_EQ(w.vnode_count(), vnodes_before - 3);
+  EXPECT_TRUE(w.check_invariants());
+}
+
+TEST(World, JoinFromPoolAcquiresArcWork) {
+  Rng rng(14);
+  World w(small_params(20, 10'000), rng);
+  const std::uint64_t total = w.remaining_tasks();
+  const auto joined = w.join_from_pool();
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_TRUE(w.physical(*joined).alive);
+  EXPECT_EQ(w.alive_count(), 21u);
+  EXPECT_EQ(w.waiting_count(), 19u);
+  EXPECT_EQ(w.remaining_tasks(), total);
+  EXPECT_TRUE(w.check_invariants());
+}
+
+TEST(World, JoinFromEmptyPoolFails) {
+  Rng rng(15);
+  World w(small_params(3, 100), rng);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(w.join_from_pool().has_value());
+  EXPECT_FALSE(w.join_from_pool().has_value());
+}
+
+TEST(World, SuccessorsOfWalkClockwise) {
+  Rng rng(16);
+  World w(small_params(10, 100), rng);
+  const Uint160 start = w.physical(w.alive_indices()[0]).vnode_ids[0];
+  const auto succs = w.successors_of(start, 4);
+  ASSERT_EQ(succs.size(), 4u);
+  // Each successor's predecessor chain leads back: succ[i]'s arc starts
+  // where the previous vnode ends.
+  Uint160 prev = start;
+  for (const auto& sid : succs) {
+    EXPECT_EQ(w.arc_of(sid).pred, prev);
+    prev = sid;
+  }
+}
+
+TEST(World, SuccessorsStopAtFullLoop) {
+  Rng rng(17);
+  World w(small_params(3, 10), rng);
+  const Uint160 start = w.physical(w.alive_indices()[0]).vnode_ids[0];
+  const auto succs = w.successors_of(start, 10);
+  EXPECT_EQ(succs.size(), 2u) << "only 2 other vnodes exist";
+}
+
+TEST(World, PredecessorsOfWalkCounterClockwise) {
+  Rng rng(18);
+  World w(small_params(10, 100), rng);
+  const Uint160 start = w.physical(w.alive_indices()[0]).vnode_ids[0];
+  const auto preds = w.predecessors_of(start, 3);
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_EQ(w.arc_of(start).pred, preds[0]);
+  EXPECT_EQ(w.arc_of(preds[0]).pred, preds[1]);
+  EXPECT_EQ(w.arc_of(preds[1]).pred, preds[2]);
+}
+
+TEST(World, ArcViewReportsOwnerAndCount) {
+  Rng rng(19);
+  World w(small_params(5, 500), rng);
+  for (const NodeIndex idx : w.alive_indices()) {
+    const Uint160 vid = w.physical(idx).vnode_ids[0];
+    const ArcView arc = w.arc_of(vid);
+    EXPECT_EQ(arc.owner, idx);
+    EXPECT_FALSE(arc.is_sybil);
+    EXPECT_EQ(arc.task_count, w.workload(idx))
+        << "single-vnode owner: arc count == workload";
+  }
+}
+
+TEST(World, RandomOperationSequencePreservesInvariants) {
+  // Fuzz-style property test: any mix of sybil/churn/consume operations
+  // keeps caches, ownership arcs and task conservation intact.
+  Rng rng(20);
+  Params p = small_params(30, 3000);
+  World w(p, rng);
+  Rng op_rng(21);
+  std::uint64_t consumed_total = 0;
+  for (int step = 0; step < 400; ++step) {
+    const auto alive = w.alive_indices();
+    const NodeIndex idx = alive[op_rng.below(alive.size())];
+    switch (op_rng.below(5)) {
+      case 0:
+        if (const auto got = w.create_sybil(idx, op_rng.uniform_u160())) {
+          (void)*got;
+        }
+        break;
+      case 1:
+        w.remove_sybils(idx);
+        break;
+      case 2:
+        if (w.alive_count() > 1) (void)w.depart(idx);
+        break;
+      case 3:
+        (void)w.join_from_pool();
+        break;
+      case 4:
+        consumed_total += w.consume(idx, 1 + op_rng.below(5));
+        break;
+    }
+    if (step % 50 == 0) {
+      ASSERT_TRUE(w.check_invariants()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(w.check_invariants());
+  EXPECT_EQ(w.remaining_tasks() + consumed_total, 3000u)
+      << "tasks are conserved: consumed + remaining == total";
+}
+
+}  // namespace
+}  // namespace dhtlb::sim

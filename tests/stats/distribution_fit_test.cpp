@@ -1,0 +1,109 @@
+#include "stats/distribution_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/experiment.hpp"
+#include "stats/load_metrics.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::stats {
+namespace {
+
+TEST(LorenzCurve, StartsAtOriginEndsAtOneOne) {
+  const std::vector<std::uint64_t> loads{3, 1, 4, 1, 5};
+  const auto curve = lorenz_curve(loads);
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_DOUBLE_EQ(curve.front().population_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().load_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().population_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().load_fraction, 1.0);
+}
+
+TEST(LorenzCurve, EqualLoadsFollowTheDiagonal) {
+  const std::vector<std::uint64_t> loads(10, 7);
+  for (const auto& pt : lorenz_curve(loads)) {
+    EXPECT_NEAR(pt.load_fraction, pt.population_fraction, 1e-12);
+  }
+}
+
+TEST(LorenzCurve, IsConvexAndBelowDiagonal) {
+  support::Rng rng(1);
+  std::vector<std::uint64_t> loads;
+  for (int i = 0; i < 200; ++i) loads.push_back(rng.below(1000));
+  const auto curve = lorenz_curve(loads);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].load_fraction, curve[i].population_fraction + 1e-12);
+    EXPECT_GE(curve[i].load_fraction, curve[i - 1].load_fraction);
+  }
+}
+
+TEST(LorenzCurve, AreaMatchesGini) {
+  // Gini = 1 - 2 * area under the Lorenz curve (trapezoid rule).
+  support::Rng rng(2);
+  std::vector<std::uint64_t> loads;
+  for (int i = 0; i < 500; ++i) loads.push_back(rng.below(5000));
+  const auto curve = lorenz_curve(loads);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx =
+        curve[i].population_fraction - curve[i - 1].population_fraction;
+    area += dx * (curve[i].load_fraction + curve[i - 1].load_fraction) / 2.0;
+  }
+  EXPECT_NEAR(1.0 - 2.0 * area, gini(loads), 0.005);
+}
+
+TEST(KsVsExponential, TrueExponentialFitsWell) {
+  support::Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(-std::log(1.0 - rng.uniform()) * 42.0);
+  }
+  EXPECT_LT(ks_vs_exponential(samples), 0.03);
+}
+
+TEST(KsVsExponential, UniformDataFitsBadly) {
+  support::Rng rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.uniform() * 100.0);
+  EXPECT_GT(ks_vs_exponential(samples), 0.1);
+}
+
+TEST(KsVsUniform, MirrorsTheExponentialCase) {
+  support::Rng rng(5);
+  std::vector<double> uniform, expo;
+  for (int i = 0; i < 5000; ++i) {
+    uniform.push_back(rng.uniform() * 100.0);
+    expo.push_back(-std::log(1.0 - rng.uniform()) * 50.0);
+  }
+  EXPECT_LT(ks_vs_uniform(uniform), 0.03);
+  EXPECT_GT(ks_vs_uniform(expo), 0.1);
+}
+
+TEST(KsStatistics, EmptyInputIsMaximallyBad) {
+  EXPECT_DOUBLE_EQ(ks_vs_exponential({}), 1.0);
+  EXPECT_DOUBLE_EQ(ks_vs_uniform({}), 1.0);
+}
+
+TEST(ArcTheory, MatchesTableIFormulae) {
+  const auto t = exponential_arc_theory(1000, 1'000'000);
+  EXPECT_DOUBLE_EQ(t.mean_workload, 1000.0);
+  EXPECT_NEAR(t.median_workload, 693.1, 0.1);
+  EXPECT_DOUBLE_EQ(t.sigma_workload, 1000.0);
+}
+
+TEST(ArcTheory, SimulatedWorkloadsAreExponentialNotUniform) {
+  // The §III claim, tested end to end: real SHA-1 workloads fit the
+  // exponential-arc model far better than an even-arcs model.
+  const auto loads = exp::initial_workloads(2000, 200'000, 99);
+  std::vector<double> d(loads.begin(), loads.end());
+  const double ks_exp = ks_vs_exponential(d);
+  const double ks_uni = ks_vs_uniform(d);
+  EXPECT_LT(ks_exp, 0.05) << "exponential-arc model fits";
+  EXPECT_GT(ks_uni, 0.15) << "even-arc model is clearly rejected";
+  EXPECT_LT(ks_exp, ks_uni / 3.0);
+}
+
+}  // namespace
+}  // namespace dhtlb::stats

@@ -1,0 +1,137 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dhtlb::stats {
+namespace {
+
+TEST(LinearHistogram, BinEdgesAreUniform) {
+  LinearHistogram h(0.0, 100.0, 4);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_DOUBLE_EQ(bins[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins[0].hi, 25.0);
+  EXPECT_DOUBLE_EQ(bins[3].lo, 75.0);
+  EXPECT_DOUBLE_EQ(bins[3].hi, 100.0);
+}
+
+TEST(LinearHistogram, SamplesLandInCorrectBins) {
+  LinearHistogram h(0.0, 100.0, 4);
+  h.add(0.0);    // bin 0 (left-closed)
+  h.add(24.9);   // bin 0
+  h.add(25.0);   // bin 1
+  h.add(99.9);   // bin 3
+  h.add(100.0);  // top edge folds into last bin
+  const auto bins = h.bins();
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[2].count, 0u);
+  EXPECT_EQ(bins[3].count, 2u);
+}
+
+TEST(LinearHistogram, OutOfRangeClampsIntoEdgeBins) {
+  LinearHistogram h(10.0, 20.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  const auto bins = h.bins();
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(LinearHistogram, InvalidConstruction) {
+  EXPECT_THROW(LinearHistogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(10.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LinearHistogram, ProbabilitiesSumToOne) {
+  LinearHistogram h(0.0, 10.0, 7);
+  for (int i = 0; i < 100; ++i) h.add(i % 10);
+  const auto p = h.probabilities();
+  const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LinearHistogram, EmptyProbabilitiesAreZero) {
+  LinearHistogram h(0.0, 1.0, 3);
+  for (double p : h.probabilities()) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(LogHistogram, UnderflowBinCatchesZeros) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(0.0);
+  h.add(0.5);
+  const auto bins = h.bins();
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_DOUBLE_EQ(bins[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins[0].hi, 1.0);
+}
+
+TEST(LogHistogram, LogSpacedEdges) {
+  LogHistogram h(1.0, 1000.0, 3);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 4u);  // underflow + 3
+  EXPECT_NEAR(bins[1].lo, 1.0, 1e-9);
+  EXPECT_NEAR(bins[1].hi, 10.0, 1e-9);
+  EXPECT_NEAR(bins[2].hi, 100.0, 1e-7);
+  EXPECT_NEAR(bins[3].hi, 1000.0, 1e-6);
+}
+
+TEST(LogHistogram, HeavyTailLandsInUpperBins) {
+  LogHistogram h(1.0, 10000.0, 4);
+  h.add(2.0);      // [1,10)
+  h.add(50.0);     // [10,100)
+  h.add(5000.0);   // [1000,10000)
+  h.add(99999.0);  // clamps into last bin
+  const auto bins = h.bins();
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[2].count, 1u);
+  EXPECT_EQ(bins[4].count, 2u);
+}
+
+TEST(LogHistogram, InvalidConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, ProbabilitiesIncludeUnderflow) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.add(0.0);
+  h.add(5.0);
+  const auto p = h.probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(WorkloadHistogram, SpansZeroToMax) {
+  const std::vector<std::uint64_t> loads{0, 5, 10, 99};
+  auto h = workload_histogram(loads, 10);
+  EXPECT_EQ(h.total(), 4u);
+  const auto bins = h.bins();
+  EXPECT_DOUBLE_EQ(bins.front().lo, 0.0);
+  EXPECT_GE(bins.back().hi, 99.0);
+}
+
+TEST(WorkloadHistogram, AllIdleNetworkStillRenders) {
+  const std::vector<std::uint64_t> loads(100, 0);
+  auto h = workload_histogram(loads, 5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bins().front().count, 100u);
+}
+
+TEST(WorkloadHistogram, CountsAreConserved) {
+  std::vector<std::uint64_t> loads;
+  for (std::uint64_t i = 0; i < 1000; ++i) loads.push_back(i * 7 % 331);
+  auto h = workload_histogram(loads, 13);
+  std::uint64_t total = 0;
+  for (const auto& bin : h.bins()) total += bin.count;
+  EXPECT_EQ(total, loads.size());
+}
+
+}  // namespace
+}  // namespace dhtlb::stats

@@ -1,0 +1,136 @@
+#include "stats/load_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dhtlb::stats {
+namespace {
+
+TEST(Gini, PerfectEqualityIsZero) {
+  const std::vector<std::uint64_t> equal(100, 42);
+  EXPECT_NEAR(gini(equal), 0.0, 1e-12);
+}
+
+TEST(Gini, TotalConcentrationApproachesOne) {
+  std::vector<std::uint64_t> loads(1000, 0);
+  loads[0] = 1'000'000;
+  EXPECT_GT(gini(loads), 0.99);
+}
+
+TEST(Gini, KnownTwoValueSplit) {
+  // {0, 2}: G = 0.5 exactly.
+  const std::vector<std::uint64_t> loads{0, 2};
+  EXPECT_NEAR(gini(loads), 0.5, 1e-12);
+}
+
+TEST(Gini, EmptyAndAllZero) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  const std::vector<std::uint64_t> zeros(10, 0);
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+TEST(Gini, ScaleInvariant) {
+  support::Rng rng(3);
+  std::vector<std::uint64_t> a, b;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.below(1000);
+    a.push_back(v);
+    b.push_back(v * 17);
+  }
+  EXPECT_NEAR(gini(a), gini(b), 1e-9);
+}
+
+TEST(Gini, OrderInvariant) {
+  const std::vector<std::uint64_t> fwd{1, 2, 3, 4, 50};
+  const std::vector<std::uint64_t> rev{50, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(gini(fwd), gini(rev));
+}
+
+TEST(CoV, EqualLoadsAreZero) {
+  const std::vector<std::uint64_t> equal(50, 7);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(equal), 0.0);
+}
+
+TEST(CoV, KnownValue) {
+  // {0, 2}: mean 1, population stddev 1 => CoV 1.
+  const std::vector<std::uint64_t> loads{0, 2};
+  EXPECT_NEAR(coefficient_of_variation(loads), 1.0, 1e-12);
+}
+
+TEST(CoV, ZeroMeanIsZero) {
+  const std::vector<std::uint64_t> zeros(5, 0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(zeros), 0.0);
+}
+
+TEST(Jain, EqualLoadsAreFullyFair) {
+  const std::vector<std::uint64_t> equal(64, 9);
+  EXPECT_NEAR(jain_fairness(equal), 1.0, 1e-12);
+}
+
+TEST(Jain, SingleActiveNodeIsMinimallyFair) {
+  std::vector<std::uint64_t> loads(10, 0);
+  loads[3] = 100;
+  EXPECT_NEAR(jain_fairness(loads), 0.1, 1e-12) << "1/n for one hot node";
+}
+
+TEST(Jain, EmptyAndZeroAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  const std::vector<std::uint64_t> zeros(4, 0);
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+TEST(Jain, BoundedByOneOverNAndOne) {
+  support::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> loads;
+    for (int i = 0; i < 30; ++i) loads.push_back(rng.below(100));
+    const double j = jain_fairness(loads);
+    EXPECT_GE(j, 1.0 / 30.0 - 1e-12);
+    EXPECT_LE(j, 1.0 + 1e-12);
+  }
+}
+
+TEST(MaxOverMean, BalancedIsOne) {
+  const std::vector<std::uint64_t> equal(8, 5);
+  EXPECT_DOUBLE_EQ(max_over_mean(equal), 1.0);
+}
+
+TEST(MaxOverMean, KnownSkew) {
+  // loads {1,1,1,5}: mean 2, max 5 => 2.5.
+  const std::vector<std::uint64_t> loads{1, 1, 1, 5};
+  EXPECT_DOUBLE_EQ(max_over_mean(loads), 2.5);
+}
+
+TEST(MaxOverMean, ZeroTotalIsZero) {
+  const std::vector<std::uint64_t> zeros(4, 0);
+  EXPECT_DOUBLE_EQ(max_over_mean(zeros), 0.0);
+  EXPECT_DOUBLE_EQ(max_over_mean({}), 0.0);
+}
+
+TEST(IdleFraction, CountsZeros) {
+  const std::vector<std::uint64_t> loads{0, 1, 0, 2, 0, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(idle_fraction(loads), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(idle_fraction({}), 0.0);
+}
+
+TEST(Metrics, AgreeOnWhichOfTwoDistributionsIsMoreBalanced) {
+  // A cross-metric consistency property the benches rely on: Gini, CoV
+  // and Jain must order a clearly-more-balanced distribution the same way.
+  std::vector<std::uint64_t> balanced, skewed;
+  support::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    balanced.push_back(90 + rng.below(21));      // 90..110
+    skewed.push_back(rng.below(10) == 0 ? 1000 : 10);
+  }
+  EXPECT_LT(gini(balanced), gini(skewed));
+  EXPECT_LT(coefficient_of_variation(balanced),
+            coefficient_of_variation(skewed));
+  EXPECT_GT(jain_fairness(balanced), jain_fairness(skewed));
+  EXPECT_LT(max_over_mean(balanced), max_over_mean(skewed));
+}
+
+}  // namespace
+}  // namespace dhtlb::stats

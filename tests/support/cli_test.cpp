@@ -1,0 +1,112 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dhtlb::support {
+namespace {
+
+CliParser sample_parser() {
+  CliParser cli;
+  cli.add_flag("nodes", "n", "1000", "network size");
+  cli.add_flag("churn", "rate", "0", "churn rate");
+  cli.add_flag("het", "", "", "heterogeneous");
+  cli.add_flag("snapshots", "list", "", "ticks");
+  return cli;
+}
+
+bool parse(CliParser& cli, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli = sample_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get_u64("nodes"), 1000u);
+  EXPECT_DOUBLE_EQ(cli.get_double("churn"), 0.0);
+  EXPECT_FALSE(cli.get_bool("het"));
+  EXPECT_FALSE(cli.has("nodes"));
+}
+
+TEST(Cli, SpaceAndEqualsForms) {
+  CliParser cli = sample_parser();
+  ASSERT_TRUE(parse(cli, {"--nodes", "42", "--churn=0.5"}));
+  EXPECT_EQ(cli.get_u64("nodes"), 42u);
+  EXPECT_DOUBLE_EQ(cli.get_double("churn"), 0.5);
+  EXPECT_TRUE(cli.has("nodes"));
+}
+
+TEST(Cli, BooleanForms) {
+  CliParser a = sample_parser();
+  ASSERT_TRUE(parse(a, {"--het"}));
+  EXPECT_TRUE(a.get_bool("het"));
+  CliParser b = sample_parser();
+  ASSERT_TRUE(parse(b, {"--het=false"}));
+  EXPECT_FALSE(b.get_bool("het"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli = sample_parser();
+  EXPECT_FALSE(parse(cli, {"--bogus", "1"}));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli = sample_parser();
+  EXPECT_FALSE(parse(cli, {"--nodes"}));
+  EXPECT_NE(cli.error().find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, RepeatedFlagFails) {
+  CliParser cli = sample_parser();
+  EXPECT_FALSE(parse(cli, {"--nodes", "1", "--nodes", "2"}));
+}
+
+TEST(Cli, PositionalsCollected) {
+  CliParser cli = sample_parser();
+  ASSERT_TRUE(parse(cli, {"alpha", "--nodes", "5", "beta"}));
+  EXPECT_EQ(cli.positionals(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Cli, U64ListParsing) {
+  CliParser cli = sample_parser();
+  ASSERT_TRUE(parse(cli, {"--snapshots", "0,5,35"}));
+  EXPECT_EQ(cli.get_u64_list("snapshots"),
+            (std::vector<std::uint64_t>{0, 5, 35}));
+  CliParser empty = sample_parser();
+  ASSERT_TRUE(parse(empty, {}));
+  EXPECT_TRUE(empty.get_u64_list("snapshots").empty());
+}
+
+TEST(Cli, TypeErrorsThrow) {
+  CliParser cli = sample_parser();
+  ASSERT_TRUE(parse(cli, {"--nodes", "abc", "--churn", "xyz"}));
+  EXPECT_THROW((void)cli.get_u64("nodes"), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("churn"), std::invalid_argument);
+}
+
+TEST(Cli, UnregisteredAccessThrows) {
+  CliParser cli = sample_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_THROW((void)cli.get("nope"), std::logic_error);
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser cli;
+  cli.add_flag("x", "", "", "");
+  EXPECT_THROW(cli.add_flag("x", "", "", ""), std::logic_error);
+}
+
+TEST(Cli, HelpListsFlagsWithDefaults) {
+  const CliParser cli = sample_parser();
+  const std::string help = cli.help("prog", "summary line");
+  EXPECT_NE(help.find("summary line"), std::string::npos);
+  EXPECT_NE(help.find("--nodes <n>"), std::string::npos);
+  EXPECT_NE(help.find("(default: 1000)"), std::string::npos);
+  EXPECT_NE(help.find("--het"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhtlb::support

@@ -1,0 +1,59 @@
+#include "support/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dhtlb::support {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("DHTLB_TEST_VAR");
+    ::unsetenv("DHTLB_TRIALS");
+    ::unsetenv("DHTLB_SEED");
+    ::unsetenv("DHTLB_THREADS");
+  }
+};
+
+TEST_F(EnvTest, UnsetUsesFallback) {
+  EXPECT_EQ(env_u64("DHTLB_TEST_VAR", 17), 17u);
+}
+
+TEST_F(EnvTest, SetValueIsParsed) {
+  ::setenv("DHTLB_TEST_VAR", "12345", 1);
+  EXPECT_EQ(env_u64("DHTLB_TEST_VAR", 17), 12345u);
+}
+
+TEST_F(EnvTest, GarbageUsesFallback) {
+  ::setenv("DHTLB_TEST_VAR", "not-a-number", 1);
+  EXPECT_EQ(env_u64("DHTLB_TEST_VAR", 17), 17u);
+  ::setenv("DHTLB_TEST_VAR", "12abc", 1);
+  EXPECT_EQ(env_u64("DHTLB_TEST_VAR", 17), 17u);
+  ::setenv("DHTLB_TEST_VAR", "", 1);
+  EXPECT_EQ(env_u64("DHTLB_TEST_VAR", 17), 17u);
+}
+
+TEST_F(EnvTest, TrialsOverride) {
+  EXPECT_EQ(env_trials(100), 100u);
+  ::setenv("DHTLB_TRIALS", "5", 1);
+  EXPECT_EQ(env_trials(100), 5u);
+  ::setenv("DHTLB_TRIALS", "0", 1);
+  EXPECT_EQ(env_trials(100), 100u) << "0 means use the default";
+}
+
+TEST_F(EnvTest, SeedDefaultAndOverride) {
+  EXPECT_EQ(env_seed(), 0x5EEDBA5EULL);
+  ::setenv("DHTLB_SEED", "42", 1);
+  EXPECT_EQ(env_seed(), 42u);
+}
+
+TEST_F(EnvTest, ThreadsDefaultIsZero) {
+  EXPECT_EQ(env_threads(), 0u);
+  ::setenv("DHTLB_THREADS", "3", 1);
+  EXPECT_EQ(env_threads(), 3u);
+}
+
+}  // namespace
+}  // namespace dhtlb::support

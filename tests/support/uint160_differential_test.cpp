@@ -1,0 +1,64 @@
+// Differential test: Uint160 arithmetic restricted to 64-bit operands
+// against native std::uint64_t as ground truth.  Random operand pairs,
+// every operation whose result fits (or wraps identically) in 64 bits.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/uint160.hpp"
+
+namespace dhtlb::support {
+namespace {
+
+class U160Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U160Differential, MatchesNative64BitArithmetic) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    const Uint160 wa{a}, wb{b};
+
+    // Addition: low 64 bits must match native wrapping addition, and
+    // the carry must land in bit 64 exactly when native overflows.
+    const Uint160 sum = wa + wb;
+    EXPECT_EQ(sum.low64(), a + b);
+    const bool carried = a + b < a;
+    EXPECT_EQ(sum.limbs()[2] & 1u, carried ? 1u : 0u);
+
+    // Subtraction where no borrow leaves the low 64 bits.
+    if (a >= b) {
+      EXPECT_EQ((wa - wb).low64(), a - b);
+      EXPECT_TRUE((wa - wb).high64() == 0);
+    }
+
+    // Ordering matches native ordering for 64-bit-ranged values.
+    EXPECT_EQ(wa < wb, a < b);
+    EXPECT_EQ(wa == wb, a == b);
+
+    // Shifts within the low word.
+    const int s = static_cast<int>(rng.below(64));
+    EXPECT_EQ(wa.shr(s).low64() & (s == 0 ? ~0ULL : ((1ULL << (64 - s)) - 1)),
+              a >> s);
+
+    // mul_small / div_small against native 128-bit truth.
+    const auto m = static_cast<std::uint32_t>(rng.below(0xFFFFFFFFULL) + 1);
+    __extension__ using U128 = unsigned __int128;
+    const U128 prod = static_cast<U128>(a) * m;
+    const Uint160 wprod = wa.mul_small(m);
+    EXPECT_EQ(wprod.low64(), static_cast<std::uint64_t>(prod));
+    EXPECT_EQ(wprod.limbs()[2],
+              static_cast<std::uint32_t>(prod >> 64));
+    EXPECT_EQ(wa.div_small(m).low64(), a / m);
+
+    // bit_length matches std::bit_width semantics.
+    int width = 0;
+    for (std::uint64_t v = a; v != 0; v >>= 1) ++width;
+    EXPECT_EQ(wa.bit_length(), width);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U160Differential,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace dhtlb::support

@@ -1,0 +1,262 @@
+#include "support/uint160.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace dhtlb::support {
+namespace {
+
+TEST(Uint160, DefaultIsZero) {
+  Uint160 v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v, Uint160::zero());
+  EXPECT_EQ(v.low64(), 0u);
+  EXPECT_EQ(v.high64(), 0u);
+}
+
+TEST(Uint160, ConstructFrom64) {
+  const Uint160 v{0x1122334455667788ULL};
+  EXPECT_EQ(v.low64(), 0x1122334455667788ULL);
+  EXPECT_EQ(v.high64(), 0u);
+  EXPECT_FALSE(v.is_zero());
+}
+
+TEST(Uint160, MaxValue) {
+  const Uint160 m = Uint160::max();
+  EXPECT_EQ(m.to_hex(), std::string(40, 'f'));
+  EXPECT_EQ(m + Uint160{1}, Uint160::zero()) << "max + 1 wraps to zero";
+}
+
+TEST(Uint160, AdditionCarriesAcrossLimbs) {
+  // 0x00000000FFFFFFFF... + 1 must ripple the carry upward.
+  const Uint160 v = Uint160::from_hex("00000000ffffffffffffffffffffffffffffffff");
+  const Uint160 sum = v + Uint160{1};
+  EXPECT_EQ(sum.to_hex(), "0000000100000000000000000000000000000000");
+}
+
+TEST(Uint160, SubtractionBorrowsAcrossLimbs) {
+  const Uint160 v = Uint160::from_hex("0000000100000000000000000000000000000000");
+  const Uint160 diff = v - Uint160{1};
+  EXPECT_EQ(diff.to_hex(), "00000000ffffffffffffffffffffffffffffffff");
+}
+
+TEST(Uint160, SubtractionWrapsBelowZero) {
+  const Uint160 diff = Uint160::zero() - Uint160{1};
+  EXPECT_EQ(diff, Uint160::max());
+}
+
+TEST(Uint160, AddSubRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Uint160 a = rng.uniform_u160();
+    const Uint160 b = rng.uniform_u160();
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(Uint160, AdditionCommutesAndAssociates) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 a = rng.uniform_u160();
+    const Uint160 b = rng.uniform_u160();
+    const Uint160 c = rng.uniform_u160();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(Uint160, HexRoundTrip) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 v = rng.uniform_u160();
+    EXPECT_EQ(Uint160::from_hex(v.to_hex()), v);
+  }
+}
+
+TEST(Uint160, FromHexAcceptsShortStringsRightAligned) {
+  EXPECT_EQ(Uint160::from_hex("ff"), Uint160{255});
+  EXPECT_EQ(Uint160::from_hex("0"), Uint160::zero());
+  EXPECT_EQ(Uint160::from_hex(""), Uint160::zero());
+  EXPECT_EQ(Uint160::from_hex("0x10"), Uint160{16});
+}
+
+TEST(Uint160, FromHexRejectsBadInput) {
+  EXPECT_THROW(Uint160::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(Uint160::from_hex(std::string(41, 'a')),
+               std::invalid_argument);
+}
+
+TEST(Uint160, BytesRoundTrip) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 v = rng.uniform_u160();
+    EXPECT_EQ(Uint160::from_bytes(v.to_bytes()), v);
+  }
+}
+
+TEST(Uint160, BytesAreBigEndian) {
+  const Uint160 v{0x0102030405060708ULL};
+  const auto b = v.to_bytes();
+  EXPECT_EQ(b[19], 0x08);
+  EXPECT_EQ(b[12], 0x01);
+  EXPECT_EQ(b[0], 0x00);
+}
+
+TEST(Uint160, Pow2Values) {
+  EXPECT_EQ(Uint160::pow2(0), Uint160{1});
+  EXPECT_EQ(Uint160::pow2(1), Uint160{2});
+  EXPECT_EQ(Uint160::pow2(63), Uint160{1ULL << 63});
+  EXPECT_EQ(Uint160::pow2(64).to_hex(),
+            "0000000000000000000000010000000000000000");
+  EXPECT_EQ(Uint160::pow2(159).to_hex(),
+            "8000000000000000000000000000000000000000");
+}
+
+TEST(Uint160, Pow2SumsToMax) {
+  Uint160 sum;
+  for (int k = 0; k < 160; ++k) sum += Uint160::pow2(k);
+  EXPECT_EQ(sum, Uint160::max());
+}
+
+TEST(Uint160, ShiftRightBasics) {
+  const Uint160 v = Uint160::pow2(100);
+  EXPECT_EQ(v.shr(100), Uint160{1});
+  EXPECT_EQ(v.shr(101), Uint160::zero());
+  EXPECT_EQ(v.shr(0), v);
+  EXPECT_EQ(v.shr(160), Uint160::zero());
+}
+
+TEST(Uint160, ShiftLeftBasics) {
+  EXPECT_EQ(Uint160{1}.shl(100), Uint160::pow2(100));
+  EXPECT_EQ(Uint160{1}.shl(159), Uint160::pow2(159));
+  EXPECT_EQ(Uint160{1}.shl(160), Uint160::zero());
+  EXPECT_EQ(Uint160::pow2(159).shl(1), Uint160::zero()) << "top bit falls off";
+}
+
+TEST(Uint160, ShiftRoundTripWhenNoOverflow) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 v = rng.uniform_u160().shr(40);  // clear top 40 bits
+    EXPECT_EQ(v.shl(40).shr(40), v);
+  }
+}
+
+TEST(Uint160, HalvingViaShrMatchesDivSmall) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 v = rng.uniform_u160();
+    EXPECT_EQ(v.shr(1), v.div_small(2));
+  }
+}
+
+TEST(Uint160, MulSmallBasics) {
+  EXPECT_EQ(Uint160{7}.mul_small(6), Uint160{42});
+  EXPECT_EQ(Uint160::max().mul_small(1), Uint160::max());
+  // (2^160 - 1) * 2 mod 2^160 = 2^160 - 2.
+  EXPECT_EQ(Uint160::max().mul_small(2), Uint160::max() - Uint160{1});
+}
+
+TEST(Uint160, DivSmallBasics) {
+  EXPECT_EQ(Uint160{42}.div_small(6), Uint160{7});
+  EXPECT_EQ(Uint160{43}.div_small(6), Uint160{7}) << "division truncates";
+  EXPECT_EQ(Uint160::max().div_small(1), Uint160::max());
+}
+
+TEST(Uint160, MulDivSmallRoundTrip) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    // Keep the product below 2^160: clear the top 32 bits first.
+    const Uint160 v = rng.uniform_u160().shr(32);
+    const std::uint32_t m =
+        static_cast<std::uint32_t>(rng.range(1, 0xFFFFFFFFu));
+    EXPECT_EQ(v.mul_small(m).div_small(m), v);
+  }
+}
+
+TEST(Uint160, ComparisonIsNumeric) {
+  const Uint160 small{5};
+  const Uint160 big = Uint160::pow2(128);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_LE(small, small);
+  EXPECT_EQ(small <=> small, std::strong_ordering::equal);
+}
+
+TEST(Uint160, OrderingMatchesByteLexicographic) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 a = rng.uniform_u160();
+    const Uint160 b = rng.uniform_u160();
+    EXPECT_EQ(a < b, a.to_bytes() < b.to_bytes());
+  }
+}
+
+TEST(Uint160, UnitIntervalEndpoints) {
+  EXPECT_DOUBLE_EQ(Uint160::zero().to_unit_interval(), 0.0);
+  EXPECT_NEAR(Uint160::max().to_unit_interval(), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(Uint160::pow2(159).to_unit_interval(), 0.5);
+  EXPECT_DOUBLE_EQ(Uint160::pow2(158).to_unit_interval(), 0.25);
+}
+
+TEST(Uint160, UnitIntervalIsMonotone) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 a = rng.uniform_u160();
+    const Uint160 b = rng.uniform_u160();
+    if (a < b) {
+      EXPECT_LE(a.to_unit_interval(), b.to_unit_interval());
+    }
+  }
+}
+
+TEST(Uint160, BitLengthBasics) {
+  EXPECT_EQ(Uint160::zero().bit_length(), 0);
+  EXPECT_EQ(Uint160{1}.bit_length(), 1);
+  EXPECT_EQ(Uint160{2}.bit_length(), 2);
+  EXPECT_EQ(Uint160{3}.bit_length(), 2);
+  EXPECT_EQ(Uint160{255}.bit_length(), 8);
+  EXPECT_EQ(Uint160{256}.bit_length(), 9);
+  EXPECT_EQ(Uint160::max().bit_length(), 160);
+}
+
+TEST(Uint160, BitLengthMatchesPow2) {
+  for (int k = 0; k < 160; ++k) {
+    EXPECT_EQ(Uint160::pow2(k).bit_length(), k + 1) << "2^" << k;
+    if (k > 0) {
+      EXPECT_EQ((Uint160::pow2(k) - Uint160{1}).bit_length(), k)
+          << "2^" << k << " - 1";
+    }
+  }
+}
+
+TEST(Uint160, BitLengthBoundsValue) {
+  Rng rng(39);
+  for (int i = 0; i < 100; ++i) {
+    const Uint160 v = rng.uniform_u160();
+    const int bits = v.bit_length();
+    if (bits < 160) {
+      EXPECT_LT(v, Uint160::pow2(bits));
+    }
+    if (bits > 0) {
+      EXPECT_GE(v, Uint160::pow2(bits - 1));
+    }
+  }
+}
+
+TEST(Uint160, StreamOutputIsHex) {
+  std::ostringstream os;
+  os << Uint160{255};
+  EXPECT_EQ(os.str(), "00000000000000000000000000000000000000ff");
+}
+
+TEST(Uint160, ShortHex) {
+  const Uint160 v = Uint160::from_hex("deadbeef00000000000000000000000000000000");
+  EXPECT_EQ(v.to_short_hex(), "deadbeef..");
+}
+
+}  // namespace
+}  // namespace dhtlb::support

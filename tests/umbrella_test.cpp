@@ -1,0 +1,28 @@
+// Compile-and-use check of the umbrella header: every public module is
+// reachable from a single include and the basic flows work together.
+#include "dhtlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dhtlb {
+namespace {
+
+TEST(Umbrella, EndToEndMiniRun) {
+  sim::Params params;
+  params.initial_nodes = 30;
+  params.total_tasks = 900;
+  sim::Engine engine(params, 1, lb::make_strategy("random-injection"));
+  const sim::RunResult result = engine.run();
+  EXPECT_TRUE(result.completed);
+
+  const auto loads = exp::initial_workloads(30, 900, 2);
+  EXPECT_GT(stats::gini(loads), 0.0);
+  EXPECT_EQ(hashing::Sha1::hash("abc"),
+            hashing::Sha1::hash(std::string_view("abc")));
+  EXPECT_TRUE(support::in_half_open_arc(support::Uint160{5},
+                                        support::Uint160{1},
+                                        support::Uint160{9}));
+}
+
+}  // namespace
+}  // namespace dhtlb

@@ -1,0 +1,104 @@
+#include "viz/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dhtlb::viz {
+namespace {
+
+TEST(BucketMeans, ExactDivision) {
+  const std::vector<std::uint64_t> s{1, 3, 5, 7, 9, 11};
+  const auto means = bucket_means(s, 3);
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 6.0);
+  EXPECT_DOUBLE_EQ(means[2], 10.0);
+}
+
+TEST(BucketMeans, UnevenDivisionCoversEverything) {
+  const std::vector<std::uint64_t> s{1, 2, 3, 4, 5, 6, 7};
+  const auto means = bucket_means(s, 3);
+  ASSERT_EQ(means.size(), 3u);
+  // Weighted recombination must reproduce the global mean exactly.
+  double weighted = 0.0;
+  const std::size_t edges[4] = {0, 7 / 3, 2 * 7 / 3, 7};
+  for (std::size_t b = 0; b < 3; ++b) {
+    weighted += means[b] * static_cast<double>(edges[b + 1] - edges[b]);
+  }
+  EXPECT_DOUBLE_EQ(weighted / 7.0, 4.0);
+}
+
+TEST(BucketMeans, MoreBucketsThanSamplesClamps) {
+  const std::vector<std::uint64_t> s{10, 20};
+  const auto means = bucket_means(s, 10);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 10.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+}
+
+TEST(BucketMeans, EmptyInputsYieldEmpty) {
+  EXPECT_TRUE(bucket_means({}, 5).empty());
+  const std::vector<std::uint64_t> s{1};
+  EXPECT_TRUE(bucket_means(s, 0).empty());
+}
+
+TEST(RenderSeries, ContainsScaleAndBars) {
+  std::vector<std::uint64_t> s;
+  for (int i = 0; i < 200; ++i) {
+    s.push_back(static_cast<std::uint64_t>(i < 100 ? 1000 : 10));
+  }
+  SeriesRenderOptions opts;
+  opts.title = "throughput";
+  const std::string out = render_series(s, opts);
+  EXPECT_NE(out.find("throughput"), std::string::npos);
+  EXPECT_NE(out.find("1000.0"), std::string::npos) << "y scale shown";
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("tick 1..200"), std::string::npos);
+}
+
+TEST(RenderSeries, EmptySeriesRendersTitleOnly) {
+  SeriesRenderOptions opts;
+  opts.title = "empty";
+  EXPECT_EQ(render_series({}, opts), "empty\n");
+}
+
+TEST(RenderSeries, StepDownVisibleInColumns) {
+  // First half tall, second half short: the top row must have bars in
+  // the left half only.
+  std::vector<std::uint64_t> s(100, 5);
+  for (int i = 0; i < 50; ++i) s[static_cast<std::size_t>(i)] = 100;
+  SeriesRenderOptions opts;
+  opts.width = 10;
+  opts.height = 4;
+  const std::string out = render_series(s, opts);
+  // Find the first plot row (contains the top-of-scale label "100.0").
+  std::istringstream lines(out);
+  std::string line;
+  std::string top_row;
+  while (std::getline(lines, line)) {
+    if (line.find("100.0") != std::string::npos) {
+      top_row = line;
+      break;
+    }
+  }
+  ASSERT_FALSE(top_row.empty());
+  const std::string plot = top_row.substr(10);  // after the gutter
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_EQ(plot.find('#', 5), std::string::npos)
+      << "right half must be empty on the top row: '" << plot << "'";
+}
+
+TEST(RenderComparison, SharedScaleAcrossSeries) {
+  std::vector<LabeledSeries> series{
+      {"tall", std::vector<std::uint64_t>(50, 1000)},
+      {"short", std::vector<std::uint64_t>(50, 10)},
+  };
+  const std::string out = render_series_comparison(series);
+  EXPECT_NE(out.find("-- tall (50 ticks) --"), std::string::npos);
+  EXPECT_NE(out.find("-- short (50 ticks) --"), std::string::npos);
+  EXPECT_NE(out.find("shared y scale, max 1000.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhtlb::viz

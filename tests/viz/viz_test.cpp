@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/histogram.hpp"
+#include "viz/ascii_hist.hpp"
+#include "viz/ring_layout.hpp"
+
+namespace dhtlb::viz {
+namespace {
+
+using support::Uint160;
+
+TEST(AsciiHist, RendersTitleAndBars) {
+  stats::LinearHistogram h(0.0, 10.0, 2);
+  for (int i = 0; i < 8; ++i) h.add(1.0);
+  h.add(7.0);
+  HistRenderOptions opts;
+  opts.title = "my histogram";
+  const std::string out = render_histogram(h.bins(), opts);
+  EXPECT_NE(out.find("my histogram"), std::string::npos);
+  EXPECT_NE(out.find("####"), std::string::npos);
+  EXPECT_NE(out.find(" 8"), std::string::npos);
+  EXPECT_NE(out.find("[0, 5)"), std::string::npos);
+}
+
+TEST(AsciiHist, NonzeroBinsAlwaysVisible) {
+  stats::LinearHistogram h(0.0, 10.0, 2);
+  for (int i = 0; i < 1000; ++i) h.add(1.0);
+  h.add(7.0);  // 1 vs 1000: must still draw at least one '#'
+  const std::string out = render_histogram(h.bins());
+  std::istringstream lines(out);
+  std::string line;
+  int hash_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.find('#') != std::string::npos) ++hash_lines;
+  }
+  EXPECT_EQ(hash_lines, 2);
+}
+
+TEST(AsciiHist, PercentagesSumSensibly) {
+  stats::LinearHistogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(3.0);
+  const std::string out = render_histogram(h.bins());
+  EXPECT_NE(out.find("(50.0%)"), std::string::npos);
+}
+
+TEST(AsciiHist, EmptyBinsRenderTitleOnly) {
+  HistRenderOptions opts;
+  opts.title = "empty";
+  EXPECT_EQ(render_histogram({}, opts), "empty\n");
+}
+
+TEST(AsciiHist, ComparisonShowsBothLabelsAndCounts) {
+  stats::LinearHistogram a(0.0, 10.0, 2), b(0.0, 10.0, 2);
+  a.add(1.0);
+  a.add(2.0);
+  b.add(8.0);
+  const std::string out =
+      render_comparison(a.bins(), "left-label", b.bins(), "right-label");
+  EXPECT_NE(out.find("left-label"), std::string::npos);
+  EXPECT_NE(out.find("right-label"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(RingLayout, PointsAreOnTheUnitCircle) {
+  for (std::uint64_t i = 1; i < 50; ++i) {
+    const RingPoint p = ring_point(Uint160{i * 1234567}, 'n');
+    EXPECT_NEAR(p.x * p.x + p.y * p.y, 1.0, 1e-9);
+  }
+}
+
+TEST(RingLayout, PaperCoordinateConvention) {
+  // id = 0 => angle 0 => (sin 0, cos 0) = (0, 1): top of the circle.
+  const RingPoint top = ring_point(Uint160::zero(), 'n');
+  EXPECT_NEAR(top.x, 0.0, 1e-9);
+  EXPECT_NEAR(top.y, 1.0, 1e-9);
+  // id = 2^159 => halfway => (0, -1): bottom.
+  const RingPoint bottom = ring_point(Uint160::pow2(159), 'n');
+  EXPECT_NEAR(bottom.x, 0.0, 1e-9);
+  EXPECT_NEAR(bottom.y, -1.0, 1e-9);
+  // id = 2^158 => quarter => (1, 0): right (clockwise from the top).
+  const RingPoint right = ring_point(Uint160::pow2(158), 'n');
+  EXPECT_NEAR(right.x, 1.0, 1e-9);
+  EXPECT_NEAR(right.y, 0.0, 1e-9);
+}
+
+TEST(RingLayout, RenderPlacesMarksOnGrid) {
+  std::vector<RingPoint> points{ring_point(Uint160::zero(), 'n'),
+                                ring_point(Uint160::pow2(159), 't')};
+  const std::string grid = render_ring(points, 21);
+  EXPECT_NE(grid.find('O'), std::string::npos);
+  EXPECT_NE(grid.find('+'), std::string::npos);
+}
+
+TEST(RingLayout, NodesOverdrawTasks) {
+  // Node and task at the same ID: the cell must show the node.
+  std::vector<RingPoint> points{ring_point(Uint160::zero(), 't'),
+                                ring_point(Uint160::zero(), 'n')};
+  const std::string grid = render_ring(points, 21);
+  EXPECT_NE(grid.find('O'), std::string::npos);
+  EXPECT_EQ(grid.find('+'), std::string::npos);
+}
+
+TEST(RingLayout, CsvHasHeaderAndRows) {
+  std::vector<RingPoint> points{ring_point(Uint160::zero(), 'n'),
+                                ring_point(Uint160::pow2(158), 't')};
+  const std::string csv = ring_csv(points);
+  EXPECT_EQ(csv.substr(0, 12), "kind,id,x,y\n");
+  EXPECT_NE(csv.find("node,"), std::string::npos);
+  EXPECT_NE(csv.find("task,"), std::string::npos);
+  EXPECT_NE(csv.find("1.000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhtlb::viz
