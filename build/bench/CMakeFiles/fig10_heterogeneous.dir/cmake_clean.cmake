@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_heterogeneous.dir/fig10_heterogeneous.cpp.o"
+  "CMakeFiles/fig10_heterogeneous.dir/fig10_heterogeneous.cpp.o.d"
+  "fig10_heterogeneous"
+  "fig10_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

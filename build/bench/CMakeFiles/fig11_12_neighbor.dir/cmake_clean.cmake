@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_neighbor.dir/fig11_12_neighbor.cpp.o"
+  "CMakeFiles/fig11_12_neighbor.dir/fig11_12_neighbor.cpp.o.d"
+  "fig11_12_neighbor"
+  "fig11_12_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

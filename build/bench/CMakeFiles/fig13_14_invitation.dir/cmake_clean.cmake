@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_invitation.dir/fig13_14_invitation.cpp.o"
+  "CMakeFiles/fig13_14_invitation.dir/fig13_14_invitation.cpp.o.d"
+  "fig13_14_invitation"
+  "fig13_14_invitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_invitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

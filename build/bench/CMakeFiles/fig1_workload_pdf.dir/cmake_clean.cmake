@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_workload_pdf.dir/fig1_workload_pdf.cpp.o"
+  "CMakeFiles/fig1_workload_pdf.dir/fig1_workload_pdf.cpp.o.d"
+  "fig1_workload_pdf"
+  "fig1_workload_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_workload_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_3_ring_layout.dir/fig2_3_ring_layout.cpp.o"
+  "CMakeFiles/fig2_3_ring_layout.dir/fig2_3_ring_layout.cpp.o.d"
+  "fig2_3_ring_layout"
+  "fig2_3_ring_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_3_ring_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

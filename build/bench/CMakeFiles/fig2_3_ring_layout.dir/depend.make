@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_3_ring_layout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_6_churn_histograms.dir/fig4_6_churn_histograms.cpp.o"
+  "CMakeFiles/fig4_6_churn_histograms.dir/fig4_6_churn_histograms.cpp.o.d"
+  "fig4_6_churn_histograms"
+  "fig4_6_churn_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_6_churn_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

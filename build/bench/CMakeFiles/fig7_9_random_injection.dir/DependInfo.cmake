@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_9_random_injection.cpp" "bench/CMakeFiles/fig7_9_random_injection.dir/fig7_9_random_injection.cpp.o" "gcc" "bench/CMakeFiles/fig7_9_random_injection.dir/fig7_9_random_injection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dhtlb_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/dhtlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dhtlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/dhtlb_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/dhtlb_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dhtlb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/dhtlb_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dhtlb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_9_random_injection.dir/fig7_9_random_injection.cpp.o"
+  "CMakeFiles/fig7_9_random_injection.dir/fig7_9_random_injection.cpp.o.d"
+  "fig7_9_random_injection"
+  "fig7_9_random_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_9_random_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

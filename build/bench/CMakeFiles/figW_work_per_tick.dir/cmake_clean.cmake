@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figW_work_per_tick.dir/figW_work_per_tick.cpp.o"
+  "CMakeFiles/figW_work_per_tick.dir/figW_work_per_tick.cpp.o.d"
+  "figW_work_per_tick"
+  "figW_work_per_tick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figW_work_per_tick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figW_work_per_tick.
+# This may be replaced when dependencies are built.

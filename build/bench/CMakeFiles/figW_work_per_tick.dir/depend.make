@@ -1,0 +1,2 @@
+# Empty dependencies file for figW_work_per_tick.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_chord.dir/micro_chord.cpp.o"
+  "CMakeFiles/micro_chord.dir/micro_chord.cpp.o.d"
+  "micro_chord"
+  "micro_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

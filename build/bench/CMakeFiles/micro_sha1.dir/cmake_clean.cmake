@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sha1.dir/micro_sha1.cpp.o"
+  "CMakeFiles/micro_sha1.dir/micro_sha1.cpp.o.d"
+  "micro_sha1"
+  "micro_sha1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sha1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_uint160.dir/micro_uint160.cpp.o"
+  "CMakeFiles/micro_uint160.dir/micro_uint160.cpp.o.d"
+  "micro_uint160"
+  "micro_uint160.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_uint160.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_distribution.dir/table1_distribution.cpp.o"
+  "CMakeFiles/table1_distribution.dir/table1_distribution.cpp.o.d"
+  "table1_distribution"
+  "table1_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

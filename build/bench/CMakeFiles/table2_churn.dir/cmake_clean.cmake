@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_churn.dir/table2_churn.cpp.o"
+  "CMakeFiles/table2_churn.dir/table2_churn.cpp.o.d"
+  "table2_churn"
+  "table2_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

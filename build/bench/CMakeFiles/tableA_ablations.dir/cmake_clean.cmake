@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableA_ablations.dir/tableA_ablations.cpp.o"
+  "CMakeFiles/tableA_ablations.dir/tableA_ablations.cpp.o.d"
+  "tableA_ablations"
+  "tableA_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableA_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

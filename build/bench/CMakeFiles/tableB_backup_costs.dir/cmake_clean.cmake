@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableB_backup_costs.dir/tableB_backup_costs.cpp.o"
+  "CMakeFiles/tableB_backup_costs.dir/tableB_backup_costs.cpp.o.d"
+  "tableB_backup_costs"
+  "tableB_backup_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableB_backup_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

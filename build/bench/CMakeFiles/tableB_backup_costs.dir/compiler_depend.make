@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tableB_backup_costs.
+# This may be replaced when dependencies are built.

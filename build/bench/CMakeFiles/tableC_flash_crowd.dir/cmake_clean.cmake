@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableC_flash_crowd.dir/tableC_flash_crowd.cpp.o"
+  "CMakeFiles/tableC_flash_crowd.dir/tableC_flash_crowd.cpp.o.d"
+  "tableC_flash_crowd"
+  "tableC_flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableC_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

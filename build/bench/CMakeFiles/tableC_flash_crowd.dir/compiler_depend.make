@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tableC_flash_crowd.
+# This may be replaced when dependencies are built.

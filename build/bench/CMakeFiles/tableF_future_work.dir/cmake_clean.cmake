@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableF_future_work.dir/tableF_future_work.cpp.o"
+  "CMakeFiles/tableF_future_work.dir/tableF_future_work.cpp.o.d"
+  "tableF_future_work"
+  "tableF_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableF_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

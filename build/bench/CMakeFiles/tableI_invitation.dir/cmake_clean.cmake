@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableI_invitation.dir/tableI_invitation.cpp.o"
+  "CMakeFiles/tableI_invitation.dir/tableI_invitation.cpp.o.d"
+  "tableI_invitation"
+  "tableI_invitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableI_invitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tableI_invitation.
+# This may be replaced when dependencies are built.

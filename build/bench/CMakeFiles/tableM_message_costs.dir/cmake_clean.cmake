@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableM_message_costs.dir/tableM_message_costs.cpp.o"
+  "CMakeFiles/tableM_message_costs.dir/tableM_message_costs.cpp.o.d"
+  "tableM_message_costs"
+  "tableM_message_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableM_message_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tableM_message_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableN_neighbor.dir/tableN_neighbor.cpp.o"
+  "CMakeFiles/tableN_neighbor.dir/tableN_neighbor.cpp.o.d"
+  "tableN_neighbor"
+  "tableN_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableN_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tableN_neighbor.
+# This may be replaced when dependencies are built.

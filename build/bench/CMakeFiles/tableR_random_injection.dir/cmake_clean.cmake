@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableR_random_injection.dir/tableR_random_injection.cpp.o"
+  "CMakeFiles/tableR_random_injection.dir/tableR_random_injection.cpp.o.d"
+  "tableR_random_injection"
+  "tableR_random_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableR_random_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

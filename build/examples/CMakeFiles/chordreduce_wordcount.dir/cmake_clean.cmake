@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordreduce_wordcount.dir/chordreduce_wordcount.cpp.o"
+  "CMakeFiles/chordreduce_wordcount.dir/chordreduce_wordcount.cpp.o.d"
+  "chordreduce_wordcount"
+  "chordreduce_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordreduce_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chordreduce_wordcount.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_cli.dir/dhtlb_sim.cpp.o"
+  "CMakeFiles/dhtlb_cli.dir/dhtlb_sim.cpp.o.d"
+  "dhtlb_cli"
+  "dhtlb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesharing_churn.dir/filesharing_churn.cpp.o"
+  "CMakeFiles/filesharing_churn.dir/filesharing_churn.cpp.o.d"
+  "filesharing_churn"
+  "filesharing_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesharing_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_cluster.dir/heterogeneous_cluster.cpp.o"
+  "CMakeFiles/heterogeneous_cluster.dir/heterogeneous_cluster.cpp.o.d"
+  "heterogeneous_cluster"
+  "heterogeneous_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_comparison.dir/strategy_comparison.cpp.o"
+  "CMakeFiles/strategy_comparison.dir/strategy_comparison.cpp.o.d"
+  "strategy_comparison"
+  "strategy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.strategy_comparison "/root/repo/build/examples/strategy_comparison" "100" "10000" "2")
+set_tests_properties(example.strategy_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.heterogeneous_cluster "/root/repo/build/examples/heterogeneous_cluster" "100" "10000")
+set_tests_properties(example.heterogeneous_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.filesharing_churn "/root/repo/build/examples/filesharing_churn" "24" "500")
+set_tests_properties(example.filesharing_churn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.chordreduce_wordcount "/root/repo/build/examples/chordreduce_wordcount" "50" "2000")
+set_tests_properties(example.chordreduce_wordcount PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.dhtlb_cli "/root/repo/build/examples/dhtlb_cli" "--strategy" "random-injection" "--nodes" "100" "--tasks" "5000" "--trials" "2")
+set_tests_properties(example.dhtlb_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.dhtlb_cli_help "/root/repo/build/examples/dhtlb_cli" "--help")
+set_tests_properties(example.dhtlb_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.dhtlb_cli_list "/root/repo/build/examples/dhtlb_cli" "--list-strategies")
+set_tests_properties(example.dhtlb_cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chord/compute.cpp" "src/chord/CMakeFiles/dhtlb_chord.dir/compute.cpp.o" "gcc" "src/chord/CMakeFiles/dhtlb_chord.dir/compute.cpp.o.d"
+  "/root/repo/src/chord/network.cpp" "src/chord/CMakeFiles/dhtlb_chord.dir/network.cpp.o" "gcc" "src/chord/CMakeFiles/dhtlb_chord.dir/network.cpp.o.d"
+  "/root/repo/src/chord/node.cpp" "src/chord/CMakeFiles/dhtlb_chord.dir/node.cpp.o" "gcc" "src/chord/CMakeFiles/dhtlb_chord.dir/node.cpp.o.d"
+  "/root/repo/src/chord/sybil_placement.cpp" "src/chord/CMakeFiles/dhtlb_chord.dir/sybil_placement.cpp.o" "gcc" "src/chord/CMakeFiles/dhtlb_chord.dir/sybil_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dhtlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/dhtlb_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

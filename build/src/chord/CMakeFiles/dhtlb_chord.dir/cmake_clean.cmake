@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_chord.dir/compute.cpp.o"
+  "CMakeFiles/dhtlb_chord.dir/compute.cpp.o.d"
+  "CMakeFiles/dhtlb_chord.dir/network.cpp.o"
+  "CMakeFiles/dhtlb_chord.dir/network.cpp.o.d"
+  "CMakeFiles/dhtlb_chord.dir/node.cpp.o"
+  "CMakeFiles/dhtlb_chord.dir/node.cpp.o.d"
+  "CMakeFiles/dhtlb_chord.dir/sybil_placement.cpp.o"
+  "CMakeFiles/dhtlb_chord.dir/sybil_placement.cpp.o.d"
+  "libdhtlb_chord.a"
+  "libdhtlb_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_exp.dir/experiment.cpp.o"
+  "CMakeFiles/dhtlb_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/dhtlb_exp.dir/report.cpp.o"
+  "CMakeFiles/dhtlb_exp.dir/report.cpp.o.d"
+  "libdhtlb_exp.a"
+  "libdhtlb_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_hashing.dir/sha1.cpp.o"
+  "CMakeFiles/dhtlb_hashing.dir/sha1.cpp.o.d"
+  "libdhtlb_hashing.a"
+  "libdhtlb_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdhtlb_hashing.a"
+)

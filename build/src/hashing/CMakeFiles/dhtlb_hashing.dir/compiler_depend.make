@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dhtlb_hashing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/chosen_id.cpp" "src/lb/CMakeFiles/dhtlb_lb.dir/chosen_id.cpp.o" "gcc" "src/lb/CMakeFiles/dhtlb_lb.dir/chosen_id.cpp.o.d"
+  "/root/repo/src/lb/common.cpp" "src/lb/CMakeFiles/dhtlb_lb.dir/common.cpp.o" "gcc" "src/lb/CMakeFiles/dhtlb_lb.dir/common.cpp.o.d"
+  "/root/repo/src/lb/factory.cpp" "src/lb/CMakeFiles/dhtlb_lb.dir/factory.cpp.o" "gcc" "src/lb/CMakeFiles/dhtlb_lb.dir/factory.cpp.o.d"
+  "/root/repo/src/lb/invitation.cpp" "src/lb/CMakeFiles/dhtlb_lb.dir/invitation.cpp.o" "gcc" "src/lb/CMakeFiles/dhtlb_lb.dir/invitation.cpp.o.d"
+  "/root/repo/src/lb/neighbor_injection.cpp" "src/lb/CMakeFiles/dhtlb_lb.dir/neighbor_injection.cpp.o" "gcc" "src/lb/CMakeFiles/dhtlb_lb.dir/neighbor_injection.cpp.o.d"
+  "/root/repo/src/lb/random_injection.cpp" "src/lb/CMakeFiles/dhtlb_lb.dir/random_injection.cpp.o" "gcc" "src/lb/CMakeFiles/dhtlb_lb.dir/random_injection.cpp.o.d"
+  "/root/repo/src/lb/strength_aware.cpp" "src/lb/CMakeFiles/dhtlb_lb.dir/strength_aware.cpp.o" "gcc" "src/lb/CMakeFiles/dhtlb_lb.dir/strength_aware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dhtlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/dhtlb_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dhtlb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

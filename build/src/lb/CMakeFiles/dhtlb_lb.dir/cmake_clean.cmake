@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_lb.dir/chosen_id.cpp.o"
+  "CMakeFiles/dhtlb_lb.dir/chosen_id.cpp.o.d"
+  "CMakeFiles/dhtlb_lb.dir/common.cpp.o"
+  "CMakeFiles/dhtlb_lb.dir/common.cpp.o.d"
+  "CMakeFiles/dhtlb_lb.dir/factory.cpp.o"
+  "CMakeFiles/dhtlb_lb.dir/factory.cpp.o.d"
+  "CMakeFiles/dhtlb_lb.dir/invitation.cpp.o"
+  "CMakeFiles/dhtlb_lb.dir/invitation.cpp.o.d"
+  "CMakeFiles/dhtlb_lb.dir/neighbor_injection.cpp.o"
+  "CMakeFiles/dhtlb_lb.dir/neighbor_injection.cpp.o.d"
+  "CMakeFiles/dhtlb_lb.dir/random_injection.cpp.o"
+  "CMakeFiles/dhtlb_lb.dir/random_injection.cpp.o.d"
+  "CMakeFiles/dhtlb_lb.dir/strength_aware.cpp.o"
+  "CMakeFiles/dhtlb_lb.dir/strength_aware.cpp.o.d"
+  "libdhtlb_lb.a"
+  "libdhtlb_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

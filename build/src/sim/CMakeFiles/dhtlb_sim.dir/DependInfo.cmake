@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backup.cpp" "src/sim/CMakeFiles/dhtlb_sim.dir/backup.cpp.o" "gcc" "src/sim/CMakeFiles/dhtlb_sim.dir/backup.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/dhtlb_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/dhtlb_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "src/sim/CMakeFiles/dhtlb_sim.dir/params.cpp.o" "gcc" "src/sim/CMakeFiles/dhtlb_sim.dir/params.cpp.o.d"
+  "/root/repo/src/sim/task_store.cpp" "src/sim/CMakeFiles/dhtlb_sim.dir/task_store.cpp.o" "gcc" "src/sim/CMakeFiles/dhtlb_sim.dir/task_store.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/dhtlb_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/dhtlb_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dhtlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/dhtlb_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_sim.dir/backup.cpp.o"
+  "CMakeFiles/dhtlb_sim.dir/backup.cpp.o.d"
+  "CMakeFiles/dhtlb_sim.dir/engine.cpp.o"
+  "CMakeFiles/dhtlb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dhtlb_sim.dir/params.cpp.o"
+  "CMakeFiles/dhtlb_sim.dir/params.cpp.o.d"
+  "CMakeFiles/dhtlb_sim.dir/task_store.cpp.o"
+  "CMakeFiles/dhtlb_sim.dir/task_store.cpp.o.d"
+  "CMakeFiles/dhtlb_sim.dir/world.cpp.o"
+  "CMakeFiles/dhtlb_sim.dir/world.cpp.o.d"
+  "libdhtlb_sim.a"
+  "libdhtlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/dhtlb_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/dhtlb_stats.dir/distribution_fit.cpp.o"
+  "CMakeFiles/dhtlb_stats.dir/distribution_fit.cpp.o.d"
+  "CMakeFiles/dhtlb_stats.dir/histogram.cpp.o"
+  "CMakeFiles/dhtlb_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/dhtlb_stats.dir/load_metrics.cpp.o"
+  "CMakeFiles/dhtlb_stats.dir/load_metrics.cpp.o.d"
+  "libdhtlb_stats.a"
+  "libdhtlb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

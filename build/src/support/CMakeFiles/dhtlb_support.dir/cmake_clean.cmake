@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_support.dir/cli.cpp.o"
+  "CMakeFiles/dhtlb_support.dir/cli.cpp.o.d"
+  "CMakeFiles/dhtlb_support.dir/env.cpp.o"
+  "CMakeFiles/dhtlb_support.dir/env.cpp.o.d"
+  "CMakeFiles/dhtlb_support.dir/rng.cpp.o"
+  "CMakeFiles/dhtlb_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dhtlb_support.dir/table.cpp.o"
+  "CMakeFiles/dhtlb_support.dir/table.cpp.o.d"
+  "CMakeFiles/dhtlb_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/dhtlb_support.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/dhtlb_support.dir/uint160.cpp.o"
+  "CMakeFiles/dhtlb_support.dir/uint160.cpp.o.d"
+  "libdhtlb_support.a"
+  "libdhtlb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii_hist.cpp" "src/viz/CMakeFiles/dhtlb_viz.dir/ascii_hist.cpp.o" "gcc" "src/viz/CMakeFiles/dhtlb_viz.dir/ascii_hist.cpp.o.d"
+  "/root/repo/src/viz/ring_layout.cpp" "src/viz/CMakeFiles/dhtlb_viz.dir/ring_layout.cpp.o" "gcc" "src/viz/CMakeFiles/dhtlb_viz.dir/ring_layout.cpp.o.d"
+  "/root/repo/src/viz/series.cpp" "src/viz/CMakeFiles/dhtlb_viz.dir/series.cpp.o" "gcc" "src/viz/CMakeFiles/dhtlb_viz.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dhtlb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dhtlb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

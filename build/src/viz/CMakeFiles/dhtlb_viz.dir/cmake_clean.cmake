@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtlb_viz.dir/ascii_hist.cpp.o"
+  "CMakeFiles/dhtlb_viz.dir/ascii_hist.cpp.o.d"
+  "CMakeFiles/dhtlb_viz.dir/ring_layout.cpp.o"
+  "CMakeFiles/dhtlb_viz.dir/ring_layout.cpp.o.d"
+  "CMakeFiles/dhtlb_viz.dir/series.cpp.o"
+  "CMakeFiles/dhtlb_viz.dir/series.cpp.o.d"
+  "libdhtlb_viz.a"
+  "libdhtlb_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtlb_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_test.dir/chord/churn_stress_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord/churn_stress_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord/compute_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord/compute_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord/join_storm_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord/join_storm_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord/message_accounting_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord/message_accounting_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord/network_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord/network_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord/node_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord/node_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord/sybil_placement_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord/sybil_placement_test.cpp.o.d"
+  "chord_test"
+  "chord_test.pdb"
+  "chord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

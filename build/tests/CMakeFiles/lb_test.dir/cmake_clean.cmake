@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_test.dir/lb/extensions_test.cpp.o"
+  "CMakeFiles/lb_test.dir/lb/extensions_test.cpp.o.d"
+  "CMakeFiles/lb_test.dir/lb/strategies_test.cpp.o"
+  "CMakeFiles/lb_test.dir/lb/strategies_test.cpp.o.d"
+  "lb_test"
+  "lb_test.pdb"
+  "lb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/backup_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/backup_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/engine_matrix_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/engine_matrix_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/params_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/params_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/task_store_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/task_store_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/world_reference_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/world_reference_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/world_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/world_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

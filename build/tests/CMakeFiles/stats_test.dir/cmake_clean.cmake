@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/distribution_fit_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/distribution_fit_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/load_metrics_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/load_metrics_test.cpp.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

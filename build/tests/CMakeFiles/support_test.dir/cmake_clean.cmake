@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/cli_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/cli_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/env_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/env_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/ring_math_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/ring_math_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/rng_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/table_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/table_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/thread_pool_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/thread_pool_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/uint160_differential_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/uint160_differential_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/uint160_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/uint160_test.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

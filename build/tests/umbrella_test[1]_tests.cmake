@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EndToEndMiniRun]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=Umbrella.EndToEndMiniRun]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EndToEndMiniRun]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS Umbrella.EndToEndMiniRun)
