@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Determinism gate: two runs of examples/strategy_comparison with the
+# same seed must produce byte-identical output, including one run at a
+# different parallelism level (trials are deterministic functions of
+# (base_seed, trial_index), so the thread count must not matter).
+#
+# Usage: scripts/check_determinism.sh [build_dir] [nodes] [tasks] [trials]
+# Exit 0 on success, 1 on a determinism break, 2 when the binary is missing.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NODES="${2:-100}"
+TASKS="${3:-10000}"
+TRIALS="${4:-3}"
+BIN="$BUILD_DIR/examples/strategy_comparison"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "check_determinism: $BIN not found — build the tree first" >&2
+  echo "  cmake --preset audit && cmake --build --preset audit -j" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+export DHTLB_SEED=3735928559
+
+echo "check_determinism: run A (default threads)"
+"$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/run_a.txt"
+echo "check_determinism: run B (default threads)"
+"$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/run_b.txt"
+echo "check_determinism: run C (single thread)"
+DHTLB_THREADS=1 "$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/run_c.txt"
+
+fail=0
+if ! cmp -s "$workdir/run_a.txt" "$workdir/run_b.txt"; then
+  echo "check_determinism: FAIL — repeated run differs with the same seed" >&2
+  diff -u "$workdir/run_a.txt" "$workdir/run_b.txt" >&2 || true
+  fail=1
+fi
+if ! cmp -s "$workdir/run_a.txt" "$workdir/run_c.txt"; then
+  echo "check_determinism: FAIL — output depends on the thread count" >&2
+  diff -u "$workdir/run_a.txt" "$workdir/run_c.txt" >&2 || true
+  fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_determinism: OK — byte-identical across runs and thread counts"

@@ -1,8 +1,8 @@
 #include "chord/network.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
+#include "support/check.hpp"
 #include "support/ring_math.hpp"
 
 namespace dhtlb::chord {
@@ -155,7 +155,7 @@ bool Network::ring_consistent() const {
 }
 
 NodeId Network::true_owner(const NodeId& key) const {
-  assert(!nodes_.empty());
+  DHTLB_CHECK(!nodes_.empty(), "true_owner(" << key << ") on an empty ring");
   // Owner = first node clockwise at or after the key.
   auto it = nodes_.lower_bound(key);
   if (it == nodes_.end()) it = nodes_.begin();

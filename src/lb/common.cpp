@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/check.hpp"
+
 namespace dhtlb::lb {
 
 std::uint64_t retire_idle_sybils(sim::World& world, sim::NodeIndex idx,
@@ -9,6 +11,10 @@ std::uint64_t retire_idle_sybils(sim::World& world, sim::NodeIndex idx,
   const std::uint64_t sybils = world.sybil_count(idx);
   if (sybils == 0 || world.workload(idx) != 0) return 0;
   world.remove_sybils(idx);
+  DHTLB_ASSERT(world.sybil_count(idx) == 0,
+               "retire_idle_sybils: node " << idx
+                                           << " still holds Sybils after"
+                                              " retirement");
   counters.sybils_retired += sybils;
   return sybils;
 }

@@ -1,0 +1,273 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/ring_math.hpp"
+
+namespace dhtlb::sim {
+
+namespace {
+
+// Small helper so each check reads as: fail(report, "check", stream...).
+template <typename Fn>
+void fail(AuditReport& report, const char* check, Fn&& write_detail) {
+  std::ostringstream os;
+  write_detail(os);
+  report.failures.push_back(AuditFailure{check, os.str()});
+}
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << failures[i].check << ": " << failures[i].detail;
+  }
+  return os.str();
+}
+
+AuditReport InvariantAuditor::run() const {
+  AuditReport report;
+  check_ring_order(report);
+  check_key_partition(report);
+  check_successor_lists(report);
+  check_sybil_ownership(report);
+  check_workload_cache(report);
+  check_membership(report);
+  check_conservation(report);
+  return report;
+}
+
+void InvariantAuditor::check_ring_order(AuditReport& report) const {
+  const auto ids = world_.ring_ids();
+  const std::size_t n = ids.size();
+  if (n == 0) {
+    fail(report, "ring-order", [](std::ostream& os) { os << "empty ring"; });
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!(ids[i] < ids[i + 1])) {
+      fail(report, "ring-order", [&](std::ostream& os) {
+        os << "ids not strictly ascending at position " << i << ": "
+           << ids[i].to_short_hex() << " !< " << ids[i + 1].to_short_hex();
+      });
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Uint160 expected_pred = ids[(i + n - 1) % n];
+    const ArcView arc = world_.arc_of(ids[i]);
+    if (arc.pred != expected_pred) {
+      fail(report, "ring-order", [&](std::ostream& os) {
+        os << "vnode " << ids[i].to_short_hex() << " reports predecessor "
+           << arc.pred.to_short_hex() << ", ring order says "
+           << expected_pred.to_short_hex();
+      });
+    }
+    // A lookup for a vnode's own ID must land exactly on that vnode.
+    if (world_.arc_covering(ids[i]).id != ids[i]) {
+      fail(report, "ring-order", [&](std::ostream& os) {
+        os << "lookup for vnode " << ids[i].to_short_hex()
+           << " lands on a different vnode";
+      });
+    }
+  }
+}
+
+void InvariantAuditor::check_key_partition(AuditReport& report) const {
+  const auto ids = world_.ring_ids();
+  if (ids.size() <= 1) return;  // a single vnode owns the whole ring
+  for (const Uint160& id : ids) {
+    const ArcView arc = world_.arc_of(id);
+    for (const TaskKey& key : world_.vnode_keys(id)) {
+      if (!support::in_half_open_arc(key, arc.pred, arc.id)) {
+        fail(report, "key-partition", [&](std::ostream& os) {
+          os << "key " << key.to_short_hex() << " stored on vnode "
+             << id.to_short_hex() << " lies outside its arc ("
+             << arc.pred.to_short_hex() << ", " << arc.id.to_short_hex()
+             << "]";
+        });
+        break;  // one offending key per vnode keeps the report readable
+      }
+    }
+  }
+}
+
+void InvariantAuditor::check_successor_lists(AuditReport& report) const {
+  const auto ids = world_.ring_ids();
+  const std::size_t n = ids.size();
+  if (n == 0) return;
+  const std::size_t k = std::max<std::size_t>(1, world_.params().num_successors);
+  const std::size_t expected_len = std::min(k, n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto succs = world_.successors_of(ids[i], k);
+    const auto preds = world_.predecessors_of(ids[i], k);
+    if (succs.size() != expected_len || preds.size() != expected_len) {
+      fail(report, "successor-lists", [&](std::ostream& os) {
+        os << "vnode " << ids[i].to_short_hex() << " has " << succs.size()
+           << " successors / " << preds.size() << " predecessors, expected "
+           << expected_len;
+      });
+      continue;
+    }
+    for (std::size_t j = 0; j < expected_len; ++j) {
+      const Uint160& expected_succ = ids[(i + 1 + j) % n];
+      const Uint160& expected_pred = ids[(i + n - 1 - j) % n];
+      if (succs[j] != expected_succ || preds[j] != expected_pred) {
+        fail(report, "successor-lists", [&](std::ostream& os) {
+          os << "vnode " << ids[i].to_short_hex() << " list entry " << j
+             << " disagrees with ring order";
+        });
+        break;
+      }
+    }
+  }
+}
+
+void InvariantAuditor::check_sybil_ownership(AuditReport& report) const {
+  const std::size_t physicals = world_.physical_count();
+  for (const Uint160& id : world_.ring_ids()) {
+    const ArcView arc = world_.arc_of(id);
+    if (arc.owner >= physicals) {
+      fail(report, "sybil-ownership", [&](std::ostream& os) {
+        os << "vnode " << id.to_short_hex() << " owner index " << arc.owner
+           << " out of range (" << physicals << " physical nodes)";
+      });
+      continue;
+    }
+    const PhysicalNode& owner = world_.physical(arc.owner);
+    if (!owner.alive) {
+      fail(report, "sybil-ownership", [&](std::ostream& os) {
+        os << (arc.is_sybil ? "sybil" : "primary") << " vnode "
+           << id.to_short_hex() << " owned by dead node " << arc.owner;
+      });
+    }
+    const auto listed =
+        std::count(owner.vnode_ids.begin(), owner.vnode_ids.end(), id);
+    if (listed != 1) {
+      fail(report, "sybil-ownership", [&](std::ostream& os) {
+        os << "vnode " << id.to_short_hex() << " listed " << listed
+           << " times by its owner " << arc.owner << " (expected once)";
+      });
+    } else {
+      const bool is_primary = owner.vnode_ids.front() == id;
+      if (arc.is_sybil == is_primary) {
+        fail(report, "sybil-ownership", [&](std::ostream& os) {
+          os << "vnode " << id.to_short_hex() << " is_sybil flag disagrees"
+             << " with its position in owner " << arc.owner << "'s list";
+        });
+      }
+    }
+  }
+  for (const NodeIndex idx : world_.alive_indices()) {
+    const PhysicalNode& node = world_.physical(idx);
+    if (node.vnode_ids.empty()) {
+      fail(report, "sybil-ownership", [&](std::ostream& os) {
+        os << "alive node " << idx << " has no primary vnode";
+      });
+      continue;
+    }
+    for (const Uint160& id : node.vnode_ids) {
+      if (!world_.ring_contains(id)) {
+        fail(report, "sybil-ownership", [&](std::ostream& os) {
+          os << "node " << idx << " lists vnode " << id.to_short_hex()
+             << " that is not in the ring";
+        });
+      } else if (world_.arc_of(id).owner != idx) {
+        fail(report, "sybil-ownership", [&](std::ostream& os) {
+          os << "node " << idx << " lists vnode " << id.to_short_hex()
+             << " owned by node " << world_.arc_of(id).owner
+             << " (duplicated arc)";
+        });
+      }
+    }
+    if (world_.sybil_count(idx) > world_.sybil_cap(idx)) {
+      fail(report, "sybil-ownership", [&](std::ostream& os) {
+        os << "node " << idx << " holds " << world_.sybil_count(idx)
+           << " sybils, above its cap of " << world_.sybil_cap(idx);
+      });
+    }
+  }
+  for (const NodeIndex idx : world_.waiting_indices()) {
+    const PhysicalNode& node = world_.physical(idx);
+    if (!node.vnode_ids.empty() || node.workload != 0) {
+      fail(report, "sybil-ownership", [&](std::ostream& os) {
+        os << "waiting node " << idx << " still holds "
+           << node.vnode_ids.size() << " vnodes / " << node.workload
+           << " tasks";
+      });
+    }
+  }
+}
+
+void InvariantAuditor::check_workload_cache(AuditReport& report) const {
+  std::vector<std::uint64_t> per_owner(world_.physical_count(), 0);
+  for (const Uint160& id : world_.ring_ids()) {
+    const ArcView arc = world_.arc_of(id);
+    if (arc.owner < per_owner.size()) per_owner[arc.owner] += arc.task_count;
+  }
+  for (std::size_t i = 0; i < per_owner.size(); ++i) {
+    const auto idx = static_cast<NodeIndex>(i);
+    if (world_.physical(idx).workload != per_owner[i]) {
+      fail(report, "workload-cache", [&](std::ostream& os) {
+        os << "node " << i << " caches workload "
+           << world_.physical(idx).workload << ", ring holds "
+           << per_owner[i];
+      });
+    }
+  }
+}
+
+void InvariantAuditor::check_membership(AuditReport& report) const {
+  const std::size_t physicals = world_.physical_count();
+  if (world_.alive_indices().size() + world_.waiting_indices().size() !=
+      physicals) {
+    fail(report, "membership", [&](std::ostream& os) {
+      os << world_.alive_indices().size() << " alive + "
+         << world_.waiting_indices().size() << " waiting != " << physicals
+         << " physical nodes";
+    });
+  }
+  std::unordered_set<NodeIndex> seen;
+  auto visit = [&](const std::vector<NodeIndex>& list, bool expect_alive,
+                   const char* label) {
+    for (const NodeIndex idx : list) {
+      if (idx >= physicals) {
+        fail(report, "membership", [&](std::ostream& os) {
+          os << label << " list holds out-of-range index " << idx;
+        });
+        continue;
+      }
+      if (!seen.insert(idx).second) {
+        fail(report, "membership", [&](std::ostream& os) {
+          os << "node " << idx << " appears in both membership lists";
+        });
+      }
+      if (world_.physical(idx).alive != expect_alive) {
+        fail(report, "membership", [&](std::ostream& os) {
+          os << "node " << idx << " in " << label
+             << " list but alive flag says otherwise";
+        });
+      }
+    }
+  };
+  visit(world_.alive_indices(), true, "alive");
+  visit(world_.waiting_indices(), false, "waiting");
+}
+
+void InvariantAuditor::check_conservation(AuditReport& report) const {
+  std::uint64_t stored = 0;
+  for (const Uint160& id : world_.ring_ids()) {
+    stored += world_.arc_of(id).task_count;
+  }
+  if (stored != world_.remaining_tasks()) {
+    fail(report, "conservation", [&](std::ostream& os) {
+      os << "ring stores " << stored << " tasks, world reports "
+         << world_.remaining_tasks() << " remaining";
+    });
+  }
+}
+
+}  // namespace dhtlb::sim

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "sim/audit.hpp"
+#include "support/check.hpp"
+
 namespace dhtlb::sim {
 
 Engine::Engine(const Params& params, std::uint64_t seed,
                std::unique_ptr<Strategy> strategy)
-    : params_(params), rng_(seed), world_(params_, rng_),
+    : params_(params), seed_(seed), rng_(seed), world_(params_, rng_),
       strategy_(std::move(strategy)) {
   // Ideal runtime (§V-C): tasks spread perfectly over the initial
   // capacity, no churn, no Sybils.  Ceiling division: a partial final
@@ -78,6 +81,7 @@ bool Engine::step() {
   for (const NodeIndex idx : world_.alive_indices()) {
     done_this_tick += world_.consume(idx, world_.work_per_tick(idx));
   }
+  completed_ += done_this_tick;
   if (record_series_) series_.push_back(done_this_tick);
 
   if (!snapshot_ticks_.empty()) {
@@ -87,7 +91,40 @@ bool Engine::step() {
       snapshots_.push_back(capture(tick_));
     }
   }
+  if (audit_enabled_) run_audit();
   return world_.remaining_tasks() > 0 && tick_ < cap_;
+}
+
+void Engine::run_audit() const {
+  AuditReport report = InvariantAuditor(world_).run();
+  // Engine-level conservation: every task is either done or still in the
+  // ring, and the Sybil counters can only overstate the live population
+  // (departures retire Sybils without touching the strategy counters).
+  if (completed_ + world_.remaining_tasks() != params_.total_tasks) {
+    report.failures.push_back(
+        {"conservation", "completed + remaining != total_tasks"});
+  }
+  std::uint64_t live_sybils = 0;
+  for (const NodeIndex idx : world_.alive_indices()) {
+    live_sybils += world_.sybil_count(idx);
+  }
+  if (strategy_counters_.sybils_retired > strategy_counters_.sybils_created ||
+      live_sybils > strategy_counters_.sybils_created -
+                        strategy_counters_.sybils_retired) {
+    report.failures.push_back(
+        {"conservation", "live Sybil count exceeds created - retired"});
+  }
+  if (strategy_counters_.invitations_accepted >
+      strategy_counters_.invitations_sent) {
+    report.failures.push_back(
+        {"conservation", "more invitations accepted than sent"});
+  }
+  DHTLB_CHECK(report.ok(),
+              "invariant audit failed at tick "
+                  << tick_ << ", seed " << seed_ << ", strategy "
+                  << (strategy_ ? strategy_->name() : "none")
+                  << " — reproduce with this seed under an audit build\n"
+                  << report.to_string());
 }
 
 void Engine::finalize(RunResult& result) const {

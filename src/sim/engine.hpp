@@ -62,6 +62,13 @@ class Engine {
   /// series is O(runtime) memory).
   void record_tick_series(bool enabled) { record_series_ = enabled; }
 
+  /// Runs the full InvariantAuditor (sim/audit.hpp) after every tick and
+  /// aborts with the offending tick + seed on the first violation.
+  /// Defaults to on in audit builds (-DDHTLB_AUDIT=ON), off otherwise;
+  /// tests may force it on in any build flavor.
+  void set_audit(bool enabled) { audit_enabled_ = enabled; }
+  bool audit_enabled() const { return audit_enabled_; }
+
   /// Runs to completion (or the safety cap) and returns the results.
   RunResult run();
 
@@ -79,13 +86,21 @@ class Engine {
 
  private:
   void churn_step();
+  void run_audit() const;
   void finalize(RunResult& result) const;
 
   Params params_;
+  std::uint64_t seed_;
   support::Rng rng_;
   World world_;
   std::unique_ptr<Strategy> strategy_;
   std::uint64_t tick_ = 0;
+  std::uint64_t completed_ = 0;
+#ifdef DHTLB_AUDIT_ENABLED
+  bool audit_enabled_ = true;
+#else
+  bool audit_enabled_ = false;
+#endif
   std::uint64_t ideal_ticks_ = 0;
   std::uint64_t cap_ = 0;
   std::uint64_t joins_ = 0;

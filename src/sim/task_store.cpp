@@ -1,14 +1,14 @@
 #include "sim/task_store.hpp"
 
-#include <cassert>
 #include <utility>
 
+#include "support/check.hpp"
 #include "support/ring_math.hpp"
 
 namespace dhtlb::sim {
 
 TaskKey TaskStore::consume_random(support::Rng& rng) {
-  assert(!keys_.empty());
+  DHTLB_CHECK(!keys_.empty(), "consume_random on an empty task store");
   const std::size_t idx =
       static_cast<std::size_t>(rng.below(keys_.size()));
   const TaskKey taken = keys_[idx];

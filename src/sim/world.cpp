@@ -1,9 +1,10 @@
 #include "sim/world.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "hashing/sha1.hpp"
+#include "sim/audit.hpp"
+#include "support/check.hpp"
 #include "support/ring_math.hpp"
 
 namespace dhtlb::sim {
@@ -97,7 +98,8 @@ World::RingMap::const_iterator World::ring_predecessor(
 
 ArcView World::arc_of(const Uint160& vnode_id) const {
   const auto it = ring_.find(vnode_id);
-  assert(it != ring_.end() && "arc_of: vnode not in ring");
+  DHTLB_CHECK(it != ring_.end(), "arc_of: vnode " << vnode_id
+                                                  << " not in ring");
   ArcView view;
   view.id = vnode_id;
   view.pred = ring_predecessor(it)->first;
@@ -111,7 +113,8 @@ std::vector<Uint160> World::successors_of(const Uint160& vnode_id,
                                           std::size_t k) const {
   std::vector<Uint160> out;
   auto it = ring_.find(vnode_id);
-  assert(it != ring_.end() && "successors_of: vnode not in ring");
+  DHTLB_CHECK(it != ring_.end(), "successors_of: vnode " << vnode_id
+                                                         << " not in ring");
   out.reserve(k);
   auto cursor = ring_successor(it);
   while (out.size() < k && cursor->first != vnode_id) {
@@ -125,7 +128,8 @@ std::vector<Uint160> World::predecessors_of(const Uint160& vnode_id,
                                             std::size_t k) const {
   std::vector<Uint160> out;
   auto it = ring_.find(vnode_id);
-  assert(it != ring_.end() && "predecessors_of: vnode not in ring");
+  DHTLB_CHECK(it != ring_.end(), "predecessors_of: vnode " << vnode_id
+                                                           << " not in ring");
   out.reserve(k);
   auto cursor = it;
   while (out.size() < k) {
@@ -144,7 +148,8 @@ ArcView World::arc_covering(const Uint160& point) const {
 
 std::optional<Uint160> World::median_task_key(const Uint160& vnode_id) const {
   const auto it = ring_.find(vnode_id);
-  assert(it != ring_.end() && "median_task_key: vnode not in ring");
+  DHTLB_CHECK(it != ring_.end(), "median_task_key: vnode " << vnode_id
+                                                           << " not in ring");
   const auto& keys = it->second.tasks.keys();
   if (keys.empty()) return std::nullopt;
   // Order keys by clockwise distance from the arc start so wrapping
@@ -163,7 +168,8 @@ std::optional<Uint160> World::median_task_key(const Uint160& vnode_id) const {
 
 const std::vector<TaskKey>& World::vnode_keys(const Uint160& vnode_id) const {
   const auto it = ring_.find(vnode_id);
-  assert(it != ring_.end() && "vnode_keys: vnode not in ring");
+  DHTLB_CHECK(it != ring_.end(), "vnode_keys: vnode " << vnode_id
+                                                      << " not in ring");
   return it->second.tasks.keys();
 }
 
@@ -201,8 +207,10 @@ std::optional<std::uint64_t> World::create_sybil(NodeIndex owner,
 
 void World::remove_vnode(const Uint160& id) {
   auto it = ring_.find(id);
-  assert(it != ring_.end() && "remove_vnode: vnode not in ring");
-  assert(ring_.size() > 1 && "remove_vnode: cannot empty the ring");
+  DHTLB_CHECK(it != ring_.end(), "remove_vnode: vnode " << id
+                                                        << " not in ring");
+  DHTLB_CHECK(ring_.size() > 1,
+              "remove_vnode: removing " << id << " would empty the ring");
   auto succ = ring_successor(it);
   const std::uint64_t moved = succ->second.tasks.merge_from(it->second.tasks);
   physicals_[it->second.owner].workload -= moved;
@@ -221,7 +229,7 @@ void World::remove_sybils(NodeIndex owner) {
 
 bool World::depart(NodeIndex idx) {
   PhysicalNode& node = physicals_[idx];
-  assert(node.alive && "depart: node is not alive");
+  DHTLB_CHECK(node.alive, "depart: node " << idx << " is not alive");
   if (node.vnode_ids.size() >= ring_.size()) {
     return false;  // would empty the ring — nobody left to inherit tasks
   }
@@ -231,7 +239,9 @@ bool World::depart(NodeIndex idx) {
     remove_vnode(node.vnode_ids.back());
     node.vnode_ids.pop_back();
   }
-  assert(node.workload == 0);
+  DHTLB_ASSERT(node.workload == 0,
+               "depart: node " << idx << " left the ring still holding "
+                               << node.workload << " tasks");
   node.alive = false;
   std::erase(alive_, idx);
   waiting_.push_back(idx);
@@ -290,36 +300,15 @@ std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
   return consumed;
 }
 
+std::vector<Uint160> World::ring_ids() const {
+  std::vector<Uint160> ids;
+  ids.reserve(ring_.size());
+  for (const auto& [id, vnode] : ring_) ids.push_back(id);
+  return ids;
+}
+
 bool World::check_invariants() const {
-  std::uint64_t ring_total = 0;
-  std::vector<std::uint64_t> per_owner(physicals_.size(), 0);
-  std::vector<std::size_t> vnodes_per_owner(physicals_.size(), 0);
-  for (const auto& [id, vnode] : ring_) {
-    ring_total += vnode.tasks.size();
-    per_owner[vnode.owner] += vnode.tasks.size();
-    ++vnodes_per_owner[vnode.owner];
-    if (!physicals_[vnode.owner].alive) return false;
-    // Every key must lie in the vnode's ownership arc.
-    const auto it = ring_.find(id);
-    const Uint160 pred = ring_predecessor(it)->first;
-    for (const auto& key : vnode.tasks.keys()) {
-      if (ring_.size() > 1 && !support::in_half_open_arc(key, pred, id)) {
-        return false;
-      }
-    }
-  }
-  if (ring_total != remaining_) return false;
-  for (std::size_t i = 0; i < physicals_.size(); ++i) {
-    if (physicals_[i].workload != per_owner[i]) return false;
-    if (physicals_[i].vnode_ids.size() != vnodes_per_owner[i]) return false;
-    if (physicals_[i].alive !=
-        (std::find(alive_.begin(), alive_.end(), static_cast<NodeIndex>(i)) !=
-         alive_.end())) {
-      return false;
-    }
-  }
-  if (alive_.size() + waiting_.size() != physicals_.size()) return false;
-  return true;
+  return InvariantAuditor(*this).run().ok();
 }
 
 }  // namespace dhtlb::sim

@@ -20,10 +20,15 @@
 
 #include "sim/params.hpp"
 #include "sim/task_store.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/uint160.hpp"
 
 namespace dhtlb::sim {
+
+namespace testing {
+struct WorldCorruptor;  // test-only backdoor, defined under tests/sim/
+}
 
 using support::Uint160;
 
@@ -75,6 +80,12 @@ class World {
   const PhysicalNode& physical(NodeIndex idx) const {
     return physicals_[idx];
   }
+  std::size_t physical_count() const { return physicals_.size(); }
+
+  /// Every vnode ID in the ring, in clockwise (ascending) order.  For
+  /// the invariant auditor, snapshots and tests — strategies must not
+  /// use it (global knowledge).
+  std::vector<Uint160> ring_ids() const;
 
   /// Tasks per tick this node completes (1, or strength — §V-B).
   std::uint64_t work_per_tick(NodeIndex idx) const;
@@ -87,6 +98,9 @@ class World {
     return physicals_[idx].workload;
   }
   std::size_t sybil_count(NodeIndex idx) const {
+    DHTLB_ASSERT(!physicals_[idx].vnode_ids.empty(),
+                 "sybil_count: node " << idx << " holds no vnodes"
+                                      << " (waiting, not in the ring)");
     return physicals_[idx].vnode_ids.size() - 1;
   }
 
@@ -158,12 +172,17 @@ class World {
   /// first).  Returns tasks actually consumed.
   std::uint64_t consume(NodeIndex idx, std::uint64_t budget);
 
-  /// Validates internal invariants (cached workloads match stores, owner
-  /// back-pointers agree, remaining_ is consistent).  O(ring).  Used by
-  /// tests and debug builds.
+  /// Runs the full InvariantAuditor (see sim/audit.hpp) and reports
+  /// whether every check passed.  O(ring + tasks).  Used by tests and
+  /// audit builds; prefer InvariantAuditor directly when the failure
+  /// details matter.
   bool check_invariants() const;
 
  private:
+  // Test-only: lets auditor tests seed deliberate corruptions (orphaned
+  // keys, duplicated arcs, dangling Sybil owners) that the public API
+  // makes impossible by construction.
+  friend struct testing::WorldCorruptor;
   using RingMap = std::map<Uint160, VirtualNode>;
 
   RingMap::const_iterator ring_successor(RingMap::const_iterator it) const;

@@ -1,0 +1,20 @@
+#include "support/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dhtlb::support {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& context) noexcept {
+  // One fprintf per line: stderr is unbuffered, and the report must stay
+  // readable when several threads fail close together.
+  std::fprintf(stderr, "dhtlb: %s failed: %s\n", kind, expr);
+  std::fprintf(stderr, "dhtlb:   at %s:%d\n", file, line);
+  if (!context.empty()) {
+    std::fprintf(stderr, "dhtlb:   context: %s\n", context.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace dhtlb::support

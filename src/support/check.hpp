@@ -1,0 +1,96 @@
+// Contract-check macros that survive Release audit builds.
+//
+// The standard `assert()` vanishes under NDEBUG, which is exactly when
+// the paper-reproduction runs happen (Release).  A silently corrupted
+// ring would invalidate every figure, so the simulator's contracts go
+// through these macros instead:
+//
+//   DHTLB_CHECK(cond)            always on, in every build type.  For
+//   DHTLB_CHECK(cond, msg)       cheap API contracts on cold paths.
+//
+//   DHTLB_ASSERT(cond)           on in Debug builds and in audit builds
+//   DHTLB_ASSERT(cond, msg)      (-DDHTLB_AUDIT=ON); compiled out in a
+//                                plain Release build.  For hot-path
+//                                invariants.
+//
+//   DHTLB_UNREACHABLE(msg)       always on; marks impossible branches.
+//
+// `msg` is a single `<<`-chained streamable expression giving the ring
+// context (vnode id, tick, owner...), evaluated only on failure:
+//
+//   DHTLB_CHECK(it != ring_.end(),
+//               "arc_of: vnode " << vnode_id << " not in ring");
+//
+// A failing check prints the expression, location, and context to
+// stderr, then aborts — deterministic and sanitizer-friendly (ASan and
+// TSan both intercept abort() and dump their reports first).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dhtlb::support {
+
+/// Prints a contract-failure report to stderr and aborts.  Never
+/// returns.  `kind` is the macro name, `expr` the stringified failing
+/// condition, `context` the (possibly empty) formatted message.
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& context) noexcept;
+
+namespace detail {
+
+/// Accumulates the context message; exists so the macros can splice an
+/// optional `<<`-chain after it via __VA_OPT__.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace dhtlb::support
+
+// Shared expansion for DHTLB_CHECK / DHTLB_ASSERT.  `condstr` is
+// stringized by the caller so the report shows the condition as
+// written, not macro-expanded.
+#define DHTLB_CONTRACT_IMPL_(kind, cond, condstr, ...)                      \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::dhtlb::support::detail::MessageBuilder dhtlb_msg_;                  \
+      (void)(dhtlb_msg_ __VA_OPT__(<< __VA_ARGS__));                        \
+      ::dhtlb::support::contract_failure(kind, condstr, __FILE__,           \
+                                         __LINE__, dhtlb_msg_.str());       \
+    }                                                                       \
+  } while (0)
+
+#define DHTLB_CHECK(cond, ...)                                              \
+  DHTLB_CONTRACT_IMPL_("DHTLB_CHECK", cond, #cond __VA_OPT__(, ) __VA_ARGS__)
+
+#define DHTLB_UNREACHABLE(...)                                              \
+  do {                                                                      \
+    ::dhtlb::support::detail::MessageBuilder dhtlb_msg_;                    \
+    (void)(dhtlb_msg_ __VA_OPT__(<< __VA_ARGS__));                          \
+    ::dhtlb::support::contract_failure("DHTLB_UNREACHABLE",                 \
+                                       "reached unreachable code",          \
+                                       __FILE__, __LINE__,                  \
+                                       dhtlb_msg_.str());                   \
+  } while (0)
+
+// DHTLB_ASSERT is live whenever the build keeps debug checks (no NDEBUG)
+// or explicitly opts into auditing (DHTLB_AUDIT=ON ⇒ DHTLB_AUDIT_ENABLED).
+#if defined(DHTLB_AUDIT_ENABLED) || !defined(NDEBUG)
+#define DHTLB_ASSERT_ACTIVE 1
+#define DHTLB_ASSERT(cond, ...) \
+  DHTLB_CONTRACT_IMPL_("DHTLB_ASSERT", cond, #cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define DHTLB_ASSERT_ACTIVE 0
+#define DHTLB_ASSERT(cond, ...) ((void)0)
+#endif

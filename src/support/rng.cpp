@@ -1,7 +1,6 @@
 #include "support/rng.hpp"
 
-#include <cassert>
-
+#include "support/check.hpp"
 #include "support/ring_math.hpp"
 
 namespace dhtlb::support {
@@ -18,7 +17,9 @@ Uint160 Rng::uniform_in_arc(const Uint160& a, const Uint160& b) {
     return candidate;
   }
   const Uint160 span = clockwise_distance(a, b);
-  assert(span > Uint160{1} && "open arc (a,b) contains no ID");
+  DHTLB_CHECK(span > Uint160{1},
+              "uniform_in_arc: open arc (" << a << ", " << b
+                                           << ") contains no ID");
   // Sample offset uniformly in [1, span - 1] == 1 + uniform in [0, span-1).
   const Uint160 bound = span - Uint160{1};  // number of interior IDs
   // Small bounds go through Lemire's method directly.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+
+#include "support/check.hpp"
 
 namespace dhtlb::support {
 
@@ -68,7 +71,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // Enforce the submit() contract: tasks must not throw.  Letting an
+    // exception unwind through the worker loop would also terminate, but
+    // nondeterministically and without saying which task died — report
+    // and abort deterministically instead.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      contract_failure("DHTLB_TASK", "thread-pool task must not throw",
+                       __FILE__, __LINE__,
+                       std::string("task threw std::exception: ") + e.what());
+    } catch (...) {
+      contract_failure("DHTLB_TASK", "thread-pool task must not throw",
+                       __FILE__, __LINE__,
+                       "task threw a non-std::exception value");
+    }
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

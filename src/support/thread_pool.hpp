@@ -29,9 +29,11 @@ class ThreadPool {
   /// Drains outstanding work, then joins all workers.
   ~ThreadPool();
 
-  /// Enqueues a task.  Tasks must not throw; a throwing task terminates
-  /// (simulation code reports errors through return values, not
-  /// exceptions crossing thread boundaries).
+  /// Enqueues a task.  Tasks must not throw: an exception escaping a
+  /// task is caught by the worker, reported to stderr (including the
+  /// exception's what(), when it has one), and the process aborts
+  /// deterministically (simulation code reports errors through return
+  /// values, not exceptions crossing thread boundaries).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.

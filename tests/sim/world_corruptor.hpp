@@ -1,0 +1,92 @@
+// Test-only backdoor that seeds deliberate corruptions into a World,
+// bypassing the public API (which maintains the invariants by
+// construction).  Each corruption is aimed at exactly one auditor
+// check; audit_test.cpp asserts the InvariantAuditor pins it.
+//
+// Declared a friend of World (see world.hpp); lives under tests/ so the
+// shipped library contains no mutation backdoor.
+#pragma once
+
+#include <algorithm>
+
+#include "hashing/sha1.hpp"
+#include "sim/world.hpp"
+
+namespace dhtlb::sim::testing {
+
+struct WorldCorruptor {
+  /// Moves one task key from its owning vnode into a different vnode's
+  /// store (workload caches kept consistent), leaving the key outside
+  /// the holder's arc.  Target check: key-partition.
+  /// Returns false when the world has no movable key (needs >= 2 vnodes
+  /// and at least one stored task).
+  static bool orphan_key(World& world) {
+    if (world.ring_.size() < 2) return false;
+    auto src = world.ring_.begin();
+    while (src != world.ring_.end() && src->second.tasks.empty()) ++src;
+    if (src == world.ring_.end()) return false;
+    auto dst = std::next(src) == world.ring_.end() ? world.ring_.begin()
+                                                   : std::next(src);
+    support::Rng scratch(1);
+    const TaskKey key = src->second.tasks.consume_random(scratch);
+    dst->second.tasks.add(key);
+    --world.physicals_[src->second.owner].workload;
+    ++world.physicals_[dst->second.owner].workload;
+    return true;
+  }
+
+  /// Appends a vnode ID already owned by one physical node to another
+  /// physical node's vnode list — two nodes claiming the same arc.
+  /// Target check: sybil-ownership.
+  static bool duplicate_arc(World& world) {
+    if (world.alive_.size() < 2) return false;
+    const NodeIndex a = world.alive_[0];
+    const NodeIndex b = world.alive_[1];
+    world.physicals_[b].vnode_ids.push_back(
+        world.physicals_[a].vnode_ids.front());
+    return true;
+  }
+
+  /// Points a Sybil vnode's owner field at a waiting (dead) node while
+  /// the creator still lists it.  Target check: sybil-ownership.
+  /// Creates the Sybil through the public API first, so the world is
+  /// valid up to the final owner overwrite.
+  static bool dangle_sybil_owner(World& world, support::Rng& rng) {
+    if (world.alive_.empty() || world.waiting_.empty()) return false;
+    const NodeIndex creator = world.alive_[0];
+    std::optional<std::uint64_t> acquired;
+    Uint160 sybil_id;
+    while (!acquired) {
+      sybil_id = hashing::Sha1::hash_u64(rng());
+      acquired = world.create_sybil(creator, sybil_id);
+    }
+    VirtualNode& vnode = world.ring_.at(sybil_id);
+    const NodeIndex dead = world.waiting_.front();
+    world.physicals_[creator].workload -= vnode.tasks.size();
+    world.physicals_[dead].workload += vnode.tasks.size();
+    vnode.owner = dead;
+    return true;
+  }
+
+  /// Inflates the remaining-task counter past what the ring stores.
+  /// Target check: conservation.
+  static void inflate_remaining(World& world) { ++world.remaining_; }
+
+  /// Skews one alive node's cached workload away from its stores.
+  /// Target check: workload-cache.
+  static bool corrupt_workload_cache(World& world) {
+    if (world.alive_.empty()) return false;
+    world.physicals_[world.alive_[0]].workload += 3;
+    return true;
+  }
+
+  /// Lists an alive node in the waiting pool as well.  Target check:
+  /// membership.
+  static bool break_membership(World& world) {
+    if (world.alive_.empty()) return false;
+    world.waiting_.push_back(world.alive_[0]);
+    return true;
+  }
+};
+
+}  // namespace dhtlb::sim::testing

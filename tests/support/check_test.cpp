@@ -1,0 +1,62 @@
+// Contract-macro semantics: passing checks are silent, failing checks
+// abort with the expression and the streamed context, and DHTLB_ASSERT
+// obeys the build flavor (live in Debug/audit, gone in plain Release).
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dhtlb::support {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DHTLB_CHECK(1 + 1 == 2);
+  DHTLB_CHECK(true, "context is not evaluated on success");
+  DHTLB_ASSERT(2 * 2 == 4);
+  DHTLB_ASSERT(true, "nor here");
+  SUCCEED();
+}
+
+TEST(CheckTest, ContextIsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "ctx";
+  };
+  DHTLB_CHECK(true, count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailingCheckPrintsExpressionAndContext) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const int vnode = 17;
+  EXPECT_DEATH(DHTLB_CHECK(vnode < 10, "vnode " << vnode << " at tick " << 3),
+               "DHTLB_CHECK failed: vnode < 10(.|\n)*"
+               "context: vnode 17 at tick 3");
+}
+
+TEST(CheckDeathTest, FailingCheckWithoutContext) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(DHTLB_CHECK(false), "DHTLB_CHECK failed: false");
+}
+
+TEST(CheckDeathTest, UnreachableAlwaysAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(DHTLB_UNREACHABLE("strategy dispatch fell through"),
+               "DHTLB_UNREACHABLE(.|\n)*strategy dispatch fell through");
+}
+
+#if DHTLB_ASSERT_ACTIVE
+TEST(CheckDeathTest, AssertIsLiveInThisBuildFlavor) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(DHTLB_ASSERT(false, "audit/debug builds keep asserts"),
+               "DHTLB_ASSERT failed: false");
+}
+#else
+TEST(CheckTest, AssertCompilesOutInPlainRelease) {
+  DHTLB_ASSERT(false, "this must not abort: NDEBUG and no DHTLB_AUDIT");
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace dhtlb::support

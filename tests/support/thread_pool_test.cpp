@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace dhtlb::support {
@@ -82,6 +83,30 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork) {
     // No wait_idle: the destructor must finish the queue before joining.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolDeathTest, ThrowingTaskReportsAndAborts) {
+  // submit()'s contract: tasks must not throw.  An escaping exception
+  // must be reported (with its what()) and abort the process
+  // deterministically instead of unwinding through the worker loop.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto run_throwing_task = [] {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task exploded"); });
+    pool.wait_idle();
+  };
+  EXPECT_DEATH(run_throwing_task(),
+               "thread-pool task must not throw(.|\n)*task exploded");
+}
+
+TEST(ThreadPoolDeathTest, NonStdExceptionAlsoAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto run_throwing_task = [] {
+    ThreadPool pool(1);
+    pool.submit([] { throw 42; });  // NOLINT(hicpp-exception-baseclass)
+    pool.wait_idle();
+  };
+  EXPECT_DEATH(run_throwing_task(), "non-std::exception");
 }
 
 TEST(ThreadPool, UnevenWorkloadsFinish) {
