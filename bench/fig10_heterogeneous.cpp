@@ -17,8 +17,9 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(6);
-  bench::banner("Figure 10", "heterogeneous networks at tick 35", trials);
+  bench::Session session("fig10_heterogeneous", "Figure 10",
+                         "heterogeneous networks at tick 35", 6);
+  const std::size_t trials = session.trials();
 
   sim::Params params = bench::paper_defaults(1000, 100'000);
   params.heterogeneous = true;
@@ -39,17 +40,18 @@ int main() {
   std::printf("\nidle: none %.3f vs injection %.3f | gini: %.3f vs %.3f\n",
               stats::idle_fraction(ln), stats::idle_fraction(li),
               stats::gini(ln), stats::gini(li));
+  session.record("tick35/none", "gini", stats::gini(ln), 0.0, 1);
+  session.record("tick35/random-injection", "gini", stats::gini(li), 0.0, 1);
 
   // Multi-trial runtime comparison: het gains exist but are smaller than
   // hom gains (§VI-B).
-  support::ThreadPool pool(support::env_threads());
   sim::Params hom = bench::paper_defaults(1000, 100'000);
-  const double het_inj = bench::mean_factor(params, "random-injection",
-                                            trials, pool);
-  const double het_none = bench::mean_factor(params, "none", trials, pool);
-  const double hom_inj = bench::mean_factor(hom, "random-injection",
-                                            trials, pool);
-  const double hom_none = bench::mean_factor(hom, "none", trials, pool);
+  const double het_inj =
+      session.mean_factor(params, "random-injection", "het/random-injection");
+  const double het_none = session.mean_factor(params, "none", "het/none");
+  const double hom_inj =
+      session.mean_factor(hom, "random-injection", "hom/random-injection");
+  const double hom_none = session.mean_factor(hom, "none", "hom/none");
   std::printf("\nmean runtime factors (%zu trials):\n", trials);
   std::printf("  homogeneous:   none %.3f -> injection %.3f (gain %.3f)\n",
               hom_none, hom_inj, hom_none - hom_inj);

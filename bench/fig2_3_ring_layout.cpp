@@ -20,7 +20,8 @@ namespace {
 using namespace dhtlb;
 using support::Uint160;
 
-void show(const char* title, const std::vector<Uint160>& nodes,
+void show(bench::Session& session, const char* cell, const char* title,
+          const std::vector<Uint160>& nodes,
           const std::vector<Uint160>& tasks) {
   std::printf("--- %s ---\n", title);
   std::vector<viz::RingPoint> points;
@@ -38,16 +39,23 @@ void show(const char* title, const std::vector<Uint160>& nodes,
     ++owned[*it];
   }
   support::TextTable table({"node (id prefix)", "tasks owned"});
+  int max_owned = 0;
+  int min_owned = static_cast<int>(tasks.size());
   for (const auto& n : sorted_nodes) {
     table.add_row({n.to_short_hex(), std::to_string(owned[n])});
+    max_owned = std::max(max_owned, owned[n]);
+    min_owned = std::min(min_owned, owned[n]);
   }
+  session.record(cell, "max_tasks_owned", max_owned, 0.0, 1);
+  session.record(cell, "min_tasks_owned", min_owned, 0.0, 1);
   std::printf("%s\n", table.render().c_str());
 }
 
 }  // namespace
 
 int main() {
-  bench::banner("Figures 2-3", "10 nodes / 100 tasks on the unit circle", 1);
+  bench::Session session("fig2_3_ring_layout", "Figures 2-3",
+                         "10 nodes / 100 tasks on the unit circle", 1);
 
   support::Rng rng(support::env_seed());
   std::vector<Uint160> tasks;
@@ -60,7 +68,8 @@ int main() {
   for (int i = 0; i < 10; ++i) {
     sha_nodes.push_back(hashing::Sha1::hash_u64(rng()));
   }
-  show("Figure 2: SHA-1-placed nodes (O) and tasks (+)", sha_nodes, tasks);
+  show(session, "fig2/sha1-nodes",
+       "Figure 2: SHA-1-placed nodes (O) and tasks (+)", sha_nodes, tasks);
 
   // Figure 3: evenly spaced node IDs — arcs equal, but tasks still skew.
   std::vector<Uint160> even_nodes;
@@ -70,7 +79,8 @@ int main() {
     even_nodes.push_back(cursor);
     cursor += step;
   }
-  show("Figure 3: evenly spaced nodes (O) and tasks (+)", even_nodes, tasks);
+  show(session, "fig3/even-nodes",
+       "Figure 3: evenly spaced nodes (O) and tasks (+)", even_nodes, tasks);
 
   // CSV for external plotting (both figures share the task set).
   std::vector<viz::RingPoint> csv_points;

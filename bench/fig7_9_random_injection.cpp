@@ -17,17 +17,20 @@
 int main() {
   using namespace dhtlb;
 
-  bench::banner("Figures 7-9", "random injection vs none / churn", 1);
+  bench::Session session("fig7_9_random_injection", "Figures 7-9",
+                         "random injection vs none / churn", 1);
 
   const auto params = bench::paper_defaults(1000, 100'000);
   sim::Params churned = params;
   churned.churn_rate = 0.01;
   const auto seed = support::env_seed();
 
+  const bench::WallTimer timer;
   const auto none = exp::run_with_snapshots(params, "none", seed, {5, 35});
   const auto inj =
       exp::run_with_snapshots(params, "random-injection", seed, {5, 35});
   const auto churn = exp::run_with_snapshots(churned, "churn", seed, {35});
+  const double wall = timer.elapsed_ms();
 
   auto compare = [](const char* title,
                     const std::vector<std::uint64_t>& left,
@@ -58,5 +61,13 @@ int main() {
               "%.2f (paper: never > 1.7, best 1.36)\n",
               none.runtime_factor, churn.runtime_factor,
               inj.runtime_factor);
+  session.record("run/none", "runtime_factor", none.runtime_factor, wall, 1);
+  session.record("run/churn", "runtime_factor", churn.runtime_factor, 0.0, 1);
+  session.record("run/random-injection", "runtime_factor",
+                 inj.runtime_factor, 0.0, 1);
+  session.record("tick35/none", "idle_fraction",
+                 stats::idle_fraction(none.snapshots[1].workloads), 0.0, 1);
+  session.record("tick35/random-injection", "idle_fraction",
+                 stats::idle_fraction(inj.snapshots[1].workloads), 0.0, 1);
   return 0;
 }

@@ -15,8 +15,8 @@
 int main() {
   using namespace dhtlb;
 
-  bench::banner("Work per tick (SS V-C output)",
-                "throughput curves per strategy", 1);
+  bench::Session session("figW_work_per_tick", "Work per tick (SS V-C output)",
+                         "throughput curves per strategy", 1);
 
   const auto params = bench::paper_defaults(1000, 100'000);
   const auto seed = support::env_seed();
@@ -28,9 +28,13 @@ int main() {
        {"none", "churn", "random-injection", "invitation"}) {
     sim::Params p = params;
     if (std::string_view(strategy) == "churn") p.churn_rate = 0.01;
+    const bench::WallTimer timer;
     sim::Engine engine(p, seed, lb::make_strategy(strategy));
     engine.record_tick_series(true);
     const auto r = engine.run();
+    session.record(strategy, "avg_work_per_tick", r.avg_work_per_tick,
+                   timer.elapsed_ms(), 1);
+    session.record(strategy, "ticks", static_cast<double>(r.ticks), 0.0, 1);
     table.add_row({strategy, std::to_string(r.ticks),
                    support::format_fixed(r.avg_work_per_tick, 1),
                    std::to_string(params.initial_nodes)});

@@ -1,0 +1,15 @@
+// Telemetry bridge for the micro_* google-benchmark binaries.
+//
+// micro_main() replaces BENCHMARK_MAIN(): it runs the registered
+// benchmarks through a reporter that keeps the normal console output
+// AND forwards every run into a Telemetry collector, so microbenchmarks
+// emit the same BENCH_<name>.json records as the reproduction binaries
+// (cell = benchmark name, metric = "real_ns_per_iter").
+#pragma once
+
+namespace dhtlb::bench {
+
+/// Drop-in main() body for a micro_* binary.
+int micro_main(const char* experiment, int argc, char** argv);
+
+}  // namespace dhtlb::bench

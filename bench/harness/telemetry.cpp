@@ -1,0 +1,162 @@
+#include "harness/telemetry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "support/env.hpp"
+
+namespace dhtlb::bench {
+
+namespace {
+
+// Minimal JSON string escaping: cell labels may contain slashes and
+// quotes, nothing exotic.
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// %.17g round-trips every double exactly, so equal values always print
+// the same bytes.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const std::string& experiment,
+                    const std::vector<Record>& records) {
+  std::string out;
+  out.reserve(128 + records.size() * 160);
+  out += "{\n  \"schema_version\": 1,\n  \"experiment\": ";
+  append_escaped(out, experiment);
+  out += ",\n  \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    out += (i == 0) ? "\n" : ",\n";
+    // Keys in alphabetical order: cell, experiment, metric, seed,
+    // trials, value, wall_ms.
+    out += "    {\"cell\": ";
+    append_escaped(out, r.cell);
+    out += ", \"experiment\": ";
+    append_escaped(out, r.experiment);
+    out += ", \"metric\": ";
+    append_escaped(out, r.metric);
+    out += ", \"seed\": ";
+    append_u64(out, r.seed);
+    out += ", \"trials\": ";
+    append_u64(out, r.trials);
+    out += ", \"value\": ";
+    append_double(out, r.value);
+    out += ", \"wall_ms\": ";
+    append_double(out, r.wall_ms);
+    out += "}";
+  }
+  out += records.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+double calibrate_ms() {
+  // A fixed splitmix64 chain: pure integer mixing, no repo code, so the
+  // yardstick is unaffected by optimizations to the simulator itself.
+  const WallTimer timer;
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 20'000'000ULL; ++i) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    sink ^= z ^ (z >> 31);
+  }
+  // Fold the sink into an observable side effect so the loop cannot be
+  // elided; the value itself is meaningless.
+  volatile std::uint64_t keep = sink;
+  (void)keep;
+  return timer.elapsed_ms();
+}
+
+Telemetry::Telemetry(std::string experiment)
+    : experiment_(std::move(experiment)) {}
+
+Telemetry::~Telemetry() { flush(); }
+
+void Telemetry::record(const std::string& cell, const std::string& metric,
+                       double value, double wall_ms, std::uint64_t trials) {
+  Record r;
+  r.experiment = experiment_;
+  r.cell = cell;
+  r.metric = metric;
+  r.value = value;
+  r.wall_ms = deterministic() ? 0.0 : wall_ms;
+  r.seed = support::env_seed();
+  r.trials = trials;
+  records_.push_back(std::move(r));
+}
+
+std::string Telemetry::output_path() const {
+  return support::env_string("DHTLB_BENCH_DIR", ".") + "/BENCH_" +
+         experiment_ + ".json";
+}
+
+bool Telemetry::flush() {
+  if (flushed_) return true;
+  if (!json_enabled()) return false;
+  flushed_ = true;
+
+  std::vector<Record> out = records_;
+  if (!deterministic()) {
+    // Machine-speed yardstick, measured at flush so it reflects this
+    // very run's conditions.
+    Record cal;
+    cal.experiment = experiment_;
+    cal.cell = "__calibration__";
+    cal.metric = "splitmix64_20m_ms";
+    cal.value = calibrate_ms();
+    cal.wall_ms = cal.value;
+    cal.seed = support::env_seed();
+    cal.trials = 1;
+    out.insert(out.begin(), std::move(cal));
+  }
+
+  std::ofstream file(output_path(), std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << to_json(experiment_, out);
+  return static_cast<bool>(file);
+}
+
+bool Telemetry::json_enabled() {
+  return support::env_flag("DHTLB_BENCH_JSON", true);
+}
+
+bool Telemetry::deterministic() {
+  return support::env_flag("DHTLB_BENCH_DETERMINISTIC", false);
+}
+
+}  // namespace dhtlb::bench

@@ -1,0 +1,110 @@
+// Machine-readable benchmark telemetry.
+//
+// Every bench/ binary — the four micro_* microbenchmarks and the
+// table*/fig* paper reproductions — routes its measurements through a
+// Telemetry collector, which mirrors the human-readable text output
+// into a structured JSON file `BENCH_<experiment>.json`.  CI diffs
+// these files against committed baselines (scripts/compare_bench.py)
+// to catch both wall-time regressions and silent changes to the
+// deterministic result values.
+//
+// Env knobs (alongside the existing DHTLB_TRIALS/SEED/THREADS):
+//   DHTLB_BENCH_DIR           — output directory (default ".")
+//   DHTLB_BENCH_JSON=0        — disable the JSON side channel entirely
+//   DHTLB_BENCH_DETERMINISTIC — zero out wall_ms so files byte-compare
+//                               across machines and thread counts
+//
+// The JSON schema is deliberately flat — one record per (cell, metric)
+// pair, every record self-describing — so downstream tooling needs no
+// joins:
+//   {"schema_version": 1,
+//    "experiment": "table2_churn",
+//    "records": [
+//      {"cell": "...", "experiment": "...", "metric": "...",
+//       "seed": 123, "trials": 8, "value": 1.25, "wall_ms": 41.2}, ...]}
+// Record keys are emitted in alphabetical order and floats with %.17g,
+// so equal inputs produce byte-equal files.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhtlb::bench {
+
+/// One measurement: a (cell, metric) pair of an experiment.
+struct Record {
+  std::string experiment;
+  std::string cell;     // grid cell label, e.g. "churn=0.01/1e3n-1e5t"
+  std::string metric;   // what `value` is, e.g. "runtime_factor_mean"
+  double value = 0.0;
+  double wall_ms = 0.0;  // wall time spent producing this value
+  std::uint64_t seed = 0;
+  std::uint64_t trials = 0;
+};
+
+/// Serializes records to the schema above.  Pure function of its inputs
+/// (records are emitted in insertion order), so it is unit-testable and
+/// byte-stable.
+std::string to_json(const std::string& experiment,
+                    const std::vector<Record>& records);
+
+/// Times a fixed, repo-independent integer workload (a splitmix64
+/// chain) and returns elapsed milliseconds.  compare_bench.py divides
+/// wall_ms by this machine-speed yardstick before comparing against the
+/// committed baseline, so a slower CI runner is not flagged as a
+/// regression.
+double calibrate_ms();
+
+/// Wall-clock stopwatch for labelling records.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects records for one experiment and writes
+/// `<DHTLB_BENCH_DIR>/BENCH_<experiment>.json` on flush (or
+/// destruction).  Honours the env knobs documented above.
+class Telemetry {
+ public:
+  explicit Telemetry(std::string experiment);
+  ~Telemetry();  // flushes if not already flushed
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Appends one record.  `seed` defaults to support::env_seed();
+  /// wall_ms is zeroed when DHTLB_BENCH_DETERMINISTIC is set.
+  void record(const std::string& cell, const std::string& metric,
+              double value, double wall_ms, std::uint64_t trials);
+
+  const std::vector<Record>& records() const { return records_; }
+  std::string json() const { return to_json(experiment_, records_); }
+
+  /// Writes the JSON file (prepending a __calibration__ record unless
+  /// in deterministic mode).  Returns false on I/O failure or when the
+  /// JSON side channel is disabled.  Idempotent.
+  bool flush();
+
+  /// The path flush() writes to.
+  std::string output_path() const;
+
+  static bool json_enabled();    // DHTLB_BENCH_JSON != 0
+  static bool deterministic();   // DHTLB_BENCH_DETERMINISTIC set
+
+ private:
+  std::string experiment_;
+  std::vector<Record> records_;
+  bool flushed_ = false;
+};
+
+}  // namespace dhtlb::bench

@@ -2,6 +2,8 @@
 // ID/key-generation primitive the simulator calls millions of times.
 #include <benchmark/benchmark.h>
 
+#include "harness/micro.hpp"
+
 #include <string>
 #include <vector>
 
@@ -43,4 +45,6 @@ BENCHMARK(BM_Sha1IncrementalChunks);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dhtlb::bench::micro_main("micro_sha1", argc, argv);
+}

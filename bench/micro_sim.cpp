@@ -3,6 +3,8 @@
 // creation (arc split) cost, and full-run cost per strategy.
 #include <benchmark/benchmark.h>
 
+#include "harness/micro.hpp"
+
 #include <optional>
 
 #include "lb/factory.hpp"
@@ -99,4 +101,6 @@ BENCHMARK(BM_FullRunByStrategy)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dhtlb::bench::micro_main("micro_sim", argc, argv);
+}

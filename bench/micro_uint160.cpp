@@ -2,6 +2,8 @@
 // assignment, arc splits and interval tests.
 #include <benchmark/benchmark.h>
 
+#include "harness/micro.hpp"
+
 #include <vector>
 
 #include "support/ring_math.hpp"
@@ -84,4 +86,6 @@ BENCHMARK(BM_RngUniformInArc);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dhtlb::bench::micro_main("micro_uint160", argc, argv);
+}

@@ -19,8 +19,9 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(25);
-  bench::banner("Table I", "initial workload distribution", trials);
+  bench::Session session("table1_distribution", "Table I",
+                         "initial workload distribution", 25);
+  const std::size_t trials = session.trials();
 
   struct Row {
     std::size_t nodes;
@@ -35,13 +36,13 @@ int main() {
       {10000, 100'000, 7.000, 10.492},     {10000, 500'000, 34.550, 50.366},
       {10000, 1'000'000, 69.180, 100.319}};
 
-  support::ThreadPool pool(support::env_threads());
   support::TextTable table({"Nodes", "Tasks", "Median (ours)", "Median (paper)",
                             "sigma (ours)", "sigma (paper)"});
 
   for (const Row& row : rows) {
+    const bench::WallTimer timer;
     std::vector<double> medians(trials), sigmas(trials);
-    pool.parallel_for(trials, [&](std::size_t t) {
+    session.pool().parallel_for(trials, [&](std::size_t t) {
       const auto loads = exp::initial_workloads(
           row.nodes, row.tasks, support::mix_seed(support::env_seed(), t));
       std::vector<double> d(loads.begin(), loads.end());
@@ -51,6 +52,11 @@ int main() {
     });
     const double mean_median = stats::summarize(medians).mean;
     const double mean_sigma = stats::summarize(sigmas).mean;
+    const std::string cell = support::format_count(row.nodes) + "n/" +
+                             support::format_count(row.tasks) + "t";
+    const double wall = timer.elapsed_ms();
+    session.record(cell, "median_workload_mean", mean_median, wall);
+    session.record(cell, "workload_sigma_mean", mean_sigma);
     table.add_row({support::format_count(row.nodes),
                    support::format_count(row.tasks),
                    support::format_fixed(mean_median, 3),

@@ -14,8 +14,8 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(8);
-  bench::banner("Table II", "Induced Churn runtime factors", trials);
+  bench::Session session("table2_churn", "Table II",
+                         "Induced Churn runtime factors", 8);
 
   struct Config {
     std::size_t nodes;
@@ -36,7 +36,22 @@ int main() {
                               {6.047, 3.674, 4.391, 3.019, 1.863},
                               {3.721, 2.104, 3.076, 1.873, 1.309}};
 
-  support::ThreadPool pool(support::env_threads());
+  // The whole 4x5 grid goes through one batched fan: a single pool
+  // barrier instead of twenty.
+  std::vector<exp::CellSpec> cells;
+  std::vector<std::string> labels;
+  for (int r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      sim::Params p = bench::paper_defaults(configs[c].nodes,
+                                            configs[c].tasks);
+      p.churn_rate = churn_rates[r];
+      cells.push_back({p, "churn", session.trials()});
+      labels.push_back("churn=" + support::format_fixed(churn_rates[r], 4) +
+                       "/" + configs[c].label);
+    }
+  }
+  const auto aggs = session.run_grid(cells, labels);
+
   std::vector<std::string> header = {"Churn rate"};
   for (const auto& c : configs) header.push_back(c.label);
   support::TextTable table(header);
@@ -45,11 +60,8 @@ int main() {
     std::vector<std::string> ours_row = {support::format_fixed(churn_rates[r], 4)};
     std::vector<std::string> paper_row = {"  (paper)"};
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      sim::Params p = bench::paper_defaults(configs[c].nodes,
-                                            configs[c].tasks);
-      p.churn_rate = churn_rates[r];
-      ours_row.push_back(support::format_fixed(
-          bench::mean_factor(p, "churn", trials, pool), 3));
+      const auto& agg = aggs[static_cast<std::size_t>(r) * configs.size() + c];
+      ours_row.push_back(support::format_fixed(agg.runtime_factor.mean, 3));
       paper_row.push_back(support::format_fixed(paper[r][c], 3));
     }
     table.add_row(ours_row);

@@ -15,19 +15,20 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(8);
-  bench::banner("Ablations (SS VI-B.1, VI-C)", "variable effects", trials);
+  bench::Session session("tableA_ablations", "Ablations (SS VI-B.1, VI-C)",
+                         "variable effects", 8);
 
-  support::ThreadPool pool(support::env_threads());
   support::TextTable table({"ablation", "baseline", "variant", "delta",
                             "paper says"});
 
   auto ablate = [&](const char* label, sim::Params base_p,
                     sim::Params variant_p, const char* strategy,
                     const char* note) {
-    const double base = bench::mean_factor(base_p, strategy, trials, pool);
-    const double variant =
-        bench::mean_factor(variant_p, strategy, trials, pool);
+    const double base =
+        session.mean_factor(base_p, strategy, std::string(label) + "/base");
+    const double variant = session.mean_factor(
+        variant_p, strategy, std::string(label) + "/variant");
+    session.record(label, "ablation_delta", variant - base);
     table.add_row({label, support::format_fixed(base, 3),
                    support::format_fixed(variant, 3),
                    support::format_fixed(variant - base, 3), note});

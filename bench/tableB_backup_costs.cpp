@@ -66,11 +66,9 @@ double repair_traffic_per_tick(double rate, std::size_t n,
 }  // namespace
 
 int main() {
-  const std::size_t trials = support::env_trials(6);
-  bench::banner("Backup costs (SS VI-A footnote)",
-                "churn gains vs replica-repair traffic", trials);
-
-  support::ThreadPool pool(support::env_threads());
+  bench::Session session("tableB_backup_costs",
+                         "Backup costs (SS VI-A footnote)",
+                         "churn gains vs replica-repair traffic", 6);
   const double rates[] = {0.0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05};
 
   support::TextTable table({"churn rate", "runtime factor",
@@ -80,12 +78,14 @@ int main() {
   for (const double rate : rates) {
     sim::Params p = bench::paper_defaults(1000, 100'000);
     p.churn_rate = rate;
-    const double factor = bench::mean_factor(p, "churn", trials, pool);
+    const std::string cell = "churn=" + support::format_fixed(rate, 4);
+    const double factor = session.mean_factor(p, "churn", cell);
     if (rate == 0.0) base_factor = factor;
     const double traffic =
         rate == 0.0 ? 0.0
                     : repair_traffic_per_tick(rate, 1000, 100'000,
                                               support::env_seed());
+    session.record(cell, "repair_transfers_per_tick", traffic);
     const double gain_ticks = (base_factor - factor) * 100.0;  // ideal=100
     table.add_row(
         {support::format_fixed(rate, 4), support::format_fixed(factor, 3),

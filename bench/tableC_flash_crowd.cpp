@@ -50,9 +50,9 @@ FlashResult run_flash(const char* strategy, std::size_t burst,
 }  // namespace
 
 int main() {
-  const std::size_t trials = support::env_trials(5);
-  bench::banner("Flash crowd (SS VII / SS I)",
-                "late joiners absorbing an in-flight job", trials);
+  bench::Session session("tableC_flash_crowd", "Flash crowd (SS VII / SS I)",
+                         "late joiners absorbing an in-flight job", 5);
+  const std::size_t trials = session.trials();
 
   support::TextTable table({"strategy", "burst", "at tick",
                             "runtime factor", "vs no burst"});
@@ -61,6 +61,7 @@ int main() {
     for (const auto& [burst, tick] :
          std::vector<std::pair<std::size_t, std::uint64_t>>{
              {0, 0}, {250, 10}, {250, 50}, {500, 10}}) {
+      const bench::WallTimer timer;
       double factor = 0.0;
       for (std::size_t t = 0; t < trials; ++t) {
         factor += run_flash(strategy, burst, tick,
@@ -69,6 +70,9 @@ int main() {
       }
       factor /= static_cast<double>(trials);
       if (burst == 0) no_burst = factor;
+      session.record(std::string(strategy) + "/burst=" +
+                         std::to_string(burst) + "@t" + std::to_string(tick),
+                     "runtime_factor_mean", factor, timer.elapsed_ms());
       table.add_row({strategy, std::to_string(burst),
                      burst == 0 ? "-" : std::to_string(tick),
                      support::format_fixed(factor, 3),

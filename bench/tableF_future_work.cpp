@@ -17,20 +17,27 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(8);
-  bench::banner("Future work (SS VII)", "extension strategies", trials);
+  bench::Session session("tableF_future_work", "Future work (SS VII)",
+                         "extension strategies", 8);
 
-  support::ThreadPool pool(support::env_threads());
-
-  auto run_set = [&](const char* title, sim::Params p,
+  auto run_set = [&](const char* title, const char* cell_prefix,
+                     sim::Params p,
                      std::initializer_list<const char*> strategies) {
     std::printf("--- %s ---\n", title);
     support::TextTable table(
         {"strategy", "runtime factor", "sybils/trial", "queries/trial"});
+    // One batched fan per set: the strategies share the pool barrier.
+    std::vector<exp::CellSpec> cells;
+    std::vector<std::string> labels;
     for (const char* name : strategies) {
-      const auto agg =
-          exp::run_trials(p, name, trials, support::env_seed(), &pool);
-      table.add_row({name, support::format_fixed(agg.runtime_factor.mean, 3),
+      cells.push_back({p, name, session.trials()});
+      labels.push_back(std::string(cell_prefix) + "/" + name);
+    }
+    const auto aggs = session.run_grid(
+        cells, labels, std::string(cell_prefix) + "/__grid__");
+    for (const auto& agg : aggs) {
+      table.add_row({agg.strategy,
+                     support::format_fixed(agg.runtime_factor.mean, 3),
                      support::format_fixed(agg.mean_sybils_created, 0),
                      support::format_fixed(agg.mean_workload_queries, 0)});
     }
@@ -39,7 +46,8 @@ int main() {
 
   // Homogeneous: chosen-ID vs the paper's strategies — isolates the
   // value of ID choice at both reach scopes.
-  run_set("homogeneous 1000 n / 1e5 t", bench::paper_defaults(1000, 100'000),
+  run_set("homogeneous 1000 n / 1e5 t", "hom",
+          bench::paper_defaults(1000, 100'000),
           {"none", "random-injection", "smart-neighbor-injection",
            "chosen-id-neighbor", "chosen-id-global"});
 
@@ -47,7 +55,7 @@ int main() {
   sim::Params het = bench::paper_defaults(1000, 100'000);
   het.heterogeneous = true;
   het.work_measure = sim::WorkMeasure::kStrengthPerTick;
-  run_set("heterogeneous (strength/tick) 1000 n / 1e5 t", het,
+  run_set("heterogeneous (strength/tick) 1000 n / 1e5 t", "het", het,
           {"none", "random-injection", "invitation", "strength-aware",
            "chosen-id-global"});
 
@@ -55,7 +63,7 @@ int main() {
   // degradation (maxSybils 10).
   sim::Params wide = het;
   wide.max_sybils = 10;
-  run_set("heterogeneous, maxSybils=10 (wide disparity)", wide,
+  run_set("heterogeneous, maxSybils=10 (wide disparity)", "het-wide", wide,
           {"random-injection", "strength-aware"});
 
   std::printf(

@@ -21,9 +21,10 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(3);
-  bench::banner("Message costs (protocol-level ChordReduce)",
-                "runtime vs traffic per policy", trials);
+  bench::Session session("tableM_message_costs",
+                         "Message costs (protocol-level ChordReduce)",
+                         "runtime vs traffic per policy", 3);
+  const std::size_t trials = session.trials();
 
   struct Row {
     const char* label;
@@ -42,6 +43,7 @@ int main() {
                             "maint msgs", "msgs/task", "sybils",
                             "sha1/sybil", "fail+join"});
   for (const Row& row : rows) {
+    const bench::WallTimer timer;
     double factor = 0.0, total = 0.0, maint = 0.0, sybils = 0.0,
            hashes = 0.0, churn_events = 0.0;
     for (std::size_t t = 0; t < trials; ++t) {
@@ -60,6 +62,10 @@ int main() {
       churn_events += static_cast<double>(r.failures + r.joins);
     }
     const auto n = static_cast<double>(trials);
+    session.record(row.label, "runtime_factor_mean", factor / n,
+                   timer.elapsed_ms());
+    session.record(row.label, "total_messages_mean", total / n);
+    session.record(row.label, "maintenance_messages_mean", maint / n);
     table.add_row(
         {row.label, support::format_fixed(factor / n, 3),
          support::format_fixed(total / n, 0),

@@ -12,17 +12,16 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(10);
-  bench::banner("Table N (SS VI-C text)", "neighbor injection variants",
-                trials);
+  bench::Session session("tableN_neighbor", "Table N (SS VI-C text)",
+                         "neighbor injection variants", 10);
 
-  support::ThreadPool pool(support::env_threads());
   support::TextTable table({"configuration", "strategy", "factor (ours)",
                             "paper says"});
 
   auto row = [&](sim::Params p, const char* strategy, const char* cfg,
                  const char* note) {
-    const double f = bench::mean_factor(p, strategy, trials, pool);
+    const double f =
+        session.mean_factor(p, strategy, std::string(cfg) + "/" + strategy);
     table.add_row({cfg, strategy, support::format_fixed(f, 3), note});
     return f;
   };

@@ -12,11 +12,10 @@
 int main() {
   using namespace dhtlb;
 
-  const std::size_t trials = support::env_trials(10);
-  bench::banner("Table R (SS VI-B text)", "random injection runtime factors",
-                trials);
+  bench::Session session("tableR_random_injection", "Table R (SS VI-B text)",
+                         "random injection runtime factors", 10);
+  const std::size_t trials = session.trials();
 
-  support::ThreadPool pool(support::env_threads());
   support::TextTable table(
       {"network", "mode", "factor (ours)", "paper says"});
 
@@ -28,8 +27,12 @@ int main() {
     // strength tasks per tick (weak nodes steal work from strong ones
     // and then finish it slowly); use that mode for the het rows.
     if (het) p.work_measure = sim::WorkMeasure::kStrengthPerTick;
+    const bench::WallTimer timer;
     const auto agg = exp::run_trials(p, "random-injection", trials,
-                                     support::env_seed(), &pool);
+                                     support::env_seed(), &session.pool());
+    session.record(std::string(label) + (het ? "/het" : "/hom"),
+                   "runtime_factor_mean", agg.runtime_factor.mean,
+                   timer.elapsed_ms());
     table.add_row({label, het ? "heterogeneous" : "homogeneous",
                    support::format_fixed(agg.runtime_factor.mean, 3) + "  [" +
                        support::format_fixed(agg.runtime_factor.min, 2) +

@@ -4,6 +4,11 @@
 # different parallelism level (trials are deterministic functions of
 # (base_seed, trial_index), so the thread count must not matter).
 #
+# Also diffs one reduced-trial bench binary's BENCH_*.json telemetry
+# across DHTLB_THREADS=1 vs 4 (with DHTLB_BENCH_DETERMINISTIC=1 so
+# wall_ms is zeroed): the batched trial fan must produce byte-identical
+# structured output at any parallelism.
+#
 # Usage: scripts/check_determinism.sh [build_dir] [nodes] [tasks] [trials]
 # Exit 0 on success, 1 on a determinism break, 2 when the binary is missing.
 set -euo pipefail
@@ -42,6 +47,28 @@ if ! cmp -s "$workdir/run_a.txt" "$workdir/run_c.txt"; then
   echo "check_determinism: FAIL — output depends on the thread count" >&2
   diff -u "$workdir/run_a.txt" "$workdir/run_c.txt" >&2 || true
   fail=1
+fi
+
+# Bench telemetry determinism: the batched trial fan must emit the same
+# JSON records regardless of the worker-thread count.
+BENCH_BIN="$BUILD_DIR/bench/table2_churn"
+if [[ -x "$BENCH_BIN" ]]; then
+  mkdir -p "$workdir/bench1" "$workdir/bench4"
+  echo "check_determinism: bench telemetry (1 thread)"
+  DHTLB_THREADS=1 DHTLB_TRIALS=1 DHTLB_BENCH_DETERMINISTIC=1 \
+    DHTLB_BENCH_DIR="$workdir/bench1" "$BENCH_BIN" > /dev/null
+  echo "check_determinism: bench telemetry (4 threads)"
+  DHTLB_THREADS=4 DHTLB_TRIALS=1 DHTLB_BENCH_DETERMINISTIC=1 \
+    DHTLB_BENCH_DIR="$workdir/bench4" "$BENCH_BIN" > /dev/null
+  if ! cmp -s "$workdir/bench1/BENCH_table2_churn.json" \
+              "$workdir/bench4/BENCH_table2_churn.json"; then
+    echo "check_determinism: FAIL — bench JSON depends on thread count" >&2
+    diff -u "$workdir/bench1/BENCH_table2_churn.json" \
+            "$workdir/bench4/BENCH_table2_churn.json" >&2 || true
+    fail=1
+  fi
+else
+  echo "check_determinism: note — $BENCH_BIN not built, skipping bench JSON check"
 fi
 
 if [[ "$fail" -ne 0 ]]; then

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json telemetry against committed baselines.
+
+Every bench binary (bench/) writes a BENCH_<name>.json next to its text
+output: flat records {cell, experiment, metric, seed, trials, value,
+wall_ms} plus one __calibration__ record timing a fixed splitmix64 loop
+on the machine that produced the file.  This script compares a freshly
+generated set of files against the baselines committed under
+bench/baselines/ and fails when
+
+  * a wall-time regression exceeds --max-regression (default 20%),
+    after normalizing both sides by their calibration record so a
+    slower CI runner is not mistaken for a slower program, or
+  * with --check-values, any deterministic `value` drifts beyond
+    --value-tolerance (default: exact) at matching (seed, trials).
+
+Usage:
+  compare_bench.py --baseline-dir bench/baselines --current-dir out
+  compare_bench.py ... --check-values          # also diff values
+  compare_bench.py ... --self-test             # prove the gate trips
+Exit codes: 0 ok, 1 regression/drift found, 2 usage or missing files.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+CALIBRATION_CELL = "__calibration__"
+# Records faster than this are dominated by scheduler noise; the wall
+# check skips them (value checks still apply).
+MIN_COMPARABLE_MS = 20.0
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        raise ValueError(f"{path}: unsupported schema_version "
+                         f"{doc.get('schema_version')!r}")
+    return doc["experiment"], doc["records"]
+
+
+def split_calibration(records):
+    cal = None
+    rest = []
+    for r in records:
+        if r["cell"] == CALIBRATION_CELL:
+            cal = r["value"]
+        else:
+            rest.append(r)
+    return cal, rest
+
+
+def index_by_key(records):
+    out = {}
+    for r in records:
+        out[(r["cell"], r["metric"])] = r
+    return out
+
+
+def compare_file(name, base_path, cur_path, args, failures):
+    _, base_records = load_records(base_path)
+    _, cur_records = load_records(cur_path)
+    base_cal, base_records = split_calibration(base_records)
+    cur_cal, cur_records = split_calibration(cur_records)
+
+    # Without calibration on both sides (e.g. deterministic mode), wall
+    # times are either zeroed or incomparable across machines; fall back
+    # to raw comparison only when both files carry real wall times.
+    scale = 1.0
+    if base_cal and cur_cal and base_cal > 0 and cur_cal > 0:
+        scale = base_cal / cur_cal  # >1 → current machine is faster
+
+    base_idx = index_by_key(base_records)
+    cur_idx = index_by_key(cur_records)
+
+    for key, base_r in sorted(base_idx.items()):
+        cur_r = cur_idx.get(key)
+        if cur_r is None:
+            failures.append(f"{name}: record {key} missing from current run")
+            continue
+
+        base_wall = base_r["wall_ms"]
+        cur_wall = cur_r["wall_ms"] * scale
+        if base_wall >= MIN_COMPARABLE_MS and cur_wall > 0:
+            ratio = cur_wall / base_wall
+            if ratio > 1.0 + args.max_regression:
+                failures.append(
+                    f"{name}: {key} wall-time regression: "
+                    f"{base_wall:.1f}ms -> {cur_wall:.1f}ms normalized "
+                    f"({ratio:.2f}x, limit {1.0 + args.max_regression:.2f}x)")
+
+        if args.check_values and key[1] != "wall_ms":
+            # wall_ms-metric records (grid fan timings) are wall clock
+            # re-exposed as a value; only the normalized wall check
+            # above applies to them.
+            same_config = (base_r["seed"] == cur_r["seed"]
+                           and base_r["trials"] == cur_r["trials"])
+            if same_config:
+                bv, cv = base_r["value"], cur_r["value"]
+                if not math.isclose(bv, cv, rel_tol=args.value_tolerance,
+                                    abs_tol=args.value_tolerance):
+                    failures.append(
+                        f"{name}: {key} value drift at same seed/trials: "
+                        f"{bv!r} -> {cv!r}")
+
+    for key in sorted(set(cur_idx) - set(base_idx)):
+        print(f"note: {name}: new record {key} (not in baseline)")
+
+
+def self_test(args):
+    """Feeds the comparator a synthetic 2x slowdown; it must trip."""
+    base = {
+        "schema_version": 1,
+        "experiment": "selftest",
+        "records": [
+            {"cell": CALIBRATION_CELL, "experiment": "selftest",
+             "metric": "splitmix64_20m_ms", "seed": 0, "trials": 1,
+             "value": 50.0, "wall_ms": 50.0},
+            {"cell": "c", "experiment": "selftest", "metric": "m",
+             "seed": 0, "trials": 1, "value": 1.0, "wall_ms": 100.0},
+        ],
+    }
+    slow = json.loads(json.dumps(base))
+    slow["records"][1]["wall_ms"] = 200.0  # injected 2x slowdown
+    drift = json.loads(json.dumps(base))
+    drift["records"][1]["value"] = 2.0  # injected value drift
+
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(subdir, doc):
+            d = os.path.join(tmp, subdir)
+            os.makedirs(d, exist_ok=True)
+            path = os.path.join(d, "BENCH_selftest.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            return d
+
+        base_dir = write("base", base)
+
+        failures = []
+        compare_file("BENCH_selftest.json",
+                     os.path.join(base_dir, "BENCH_selftest.json"),
+                     os.path.join(write("slow", slow),
+                                  "BENCH_selftest.json"),
+                     args, failures)
+        if not failures:
+            print("self-test FAILED: 2x slowdown was not flagged")
+            return 1
+        print(f"self-test: slowdown correctly flagged: {failures[0]}")
+
+        failures = []
+        args.check_values = True
+        compare_file("BENCH_selftest.json",
+                     os.path.join(base_dir, "BENCH_selftest.json"),
+                     os.path.join(write("drift", drift),
+                                  "BENCH_selftest.json"),
+                     args, failures)
+        value_failures = [f for f in failures if "value drift" in f]
+        if not value_failures:
+            print("self-test FAILED: value drift was not flagged")
+            return 1
+        print(f"self-test: drift correctly flagged: {value_failures[0]}")
+
+        failures = []
+        compare_file("BENCH_selftest.json",
+                     os.path.join(base_dir, "BENCH_selftest.json"),
+                     os.path.join(base_dir, "BENCH_selftest.json"),
+                     args, failures)
+        if failures:
+            print(f"self-test FAILED: identical files flagged: {failures}")
+            return 1
+        print("self-test: identical files pass")
+    print("self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed fractional wall-time increase (0.20=20%%)")
+    ap.add_argument("--check-values", action="store_true",
+                    help="also compare deterministic values at equal "
+                         "seed/trials")
+    ap.add_argument("--value-tolerance", type=float, default=0.0,
+                    help="relative+absolute tolerance for --check-values")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate trips on an injected 2x slowdown")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args))
+
+    if not os.path.isdir(args.baseline_dir):
+        print(f"error: baseline dir {args.baseline_dir} not found",
+              file=sys.stderr)
+        sys.exit(2)
+
+    baselines = sorted(f for f in os.listdir(args.baseline_dir)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json under {args.baseline_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    compared = 0
+    for name in baselines:
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.isfile(cur_path):
+            print(f"note: {name}: not produced by this run, skipping")
+            continue
+        compare_file(name, os.path.join(args.baseline_dir, name), cur_path,
+                     args, failures)
+        compared += 1
+
+    if compared == 0:
+        print("error: no baseline file matched a current file",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if failures:
+        print(f"\ncompare_bench: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(f"compare_bench: OK ({compared} file(s) compared)")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,21 +7,14 @@
 
 namespace dhtlb::exp {
 
-Aggregate run_trials(const sim::Params& params, std::string_view strategy_name,
-                     std::size_t trials, std::uint64_t base_seed,
-                     support::ThreadPool* pool) {
-  std::vector<sim::RunResult> results(trials);
-  auto run_one = [&](std::size_t i) {
-    sim::Engine engine(params, support::mix_seed(base_seed, i),
-                       lb::make_strategy(strategy_name));
-    results[i] = engine.run();
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(trials, run_one);
-  } else {
-    for (std::size_t i = 0; i < trials; ++i) run_one(i);
-  }
+namespace {
 
+// Folds per-trial results into the Aggregate.  Shared by run_trials and
+// run_cells so the two fans produce bit-identical aggregates.
+Aggregate aggregate_results(const sim::Params& params,
+                            std::string_view strategy_name,
+                            const std::vector<sim::RunResult>& results) {
+  const std::size_t trials = results.size();
   Aggregate agg;
   agg.strategy = std::string(strategy_name);
   agg.params = params;
@@ -62,6 +55,65 @@ Aggregate run_trials(const sim::Params& params, std::string_view strategy_name,
     agg.mean_invitations_accepted /= n;
   }
   return agg;
+}
+
+}  // namespace
+
+Aggregate run_trials(const sim::Params& params, std::string_view strategy_name,
+                     std::size_t trials, std::uint64_t base_seed,
+                     support::ThreadPool* pool) {
+  std::vector<sim::RunResult> results(trials);
+  auto run_one = [&](std::size_t i) {
+    sim::Engine engine(params, support::mix_seed(base_seed, i),
+                       lb::make_strategy(strategy_name));
+    results[i] = engine.run();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(trials, run_one);
+  } else {
+    for (std::size_t i = 0; i < trials; ++i) run_one(i);
+  }
+  return aggregate_results(params, strategy_name, results);
+}
+
+std::vector<Aggregate> run_cells(const std::vector<CellSpec>& cells,
+                                 std::uint64_t base_seed,
+                                 support::ThreadPool* pool) {
+  // Flatten every (cell, trial) pair into one index space so a single
+  // parallel_for schedules the whole grid — no pool barrier per cell.
+  struct Job {
+    std::size_t cell;
+    std::size_t trial;  // index within the cell, seeds mix(base, trial)
+  };
+  std::vector<Job> jobs;
+  std::vector<std::vector<sim::RunResult>> results(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    results[c].resize(cells[c].trials);
+    for (std::size_t t = 0; t < cells[c].trials; ++t) {
+      jobs.push_back(Job{c, t});
+    }
+  }
+
+  auto run_one = [&](std::size_t j) {
+    const Job& job = jobs[j];
+    const CellSpec& cell = cells[job.cell];
+    sim::Engine engine(cell.params, support::mix_seed(base_seed, job.trial),
+                       lb::make_strategy(cell.strategy));
+    results[job.cell][job.trial] = engine.run();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(jobs.size(), run_one);
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j) run_one(j);
+  }
+
+  std::vector<Aggregate> aggregates;
+  aggregates.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    aggregates.push_back(
+        aggregate_results(cells[c].params, cells[c].strategy, results[c]));
+  }
+  return aggregates;
 }
 
 sim::RunResult run_with_snapshots(const sim::Params& params,

@@ -44,6 +44,24 @@ Aggregate run_trials(const sim::Params& params, std::string_view strategy_name,
                      std::size_t trials, std::uint64_t base_seed,
                      support::ThreadPool* pool = nullptr);
 
+/// One configuration of a multi-cell experiment grid.
+struct CellSpec {
+  sim::Params params;
+  std::string strategy;
+  std::size_t trials = 0;
+};
+
+/// Runs every cell's trials through ONE parallel fan instead of one
+/// pool barrier per cell: all (cell, trial) pairs are flattened and
+/// scheduled together, so worker threads drain the tail of a slow cell
+/// while others start the next one.  Results are identical to calling
+/// run_trials(cell.params, cell.strategy, cell.trials, base_seed, pool)
+/// per cell — trial i of every cell uses seed mix(base_seed, i), exactly
+/// as run_trials does — only the scheduling changes.
+std::vector<Aggregate> run_cells(const std::vector<CellSpec>& cells,
+                                 std::uint64_t base_seed,
+                                 support::ThreadPool* pool = nullptr);
+
 /// Runs ONE trial with workload snapshots at the given ticks — the
 /// generator behind the paper's distribution figures.
 sim::RunResult run_with_snapshots(const sim::Params& params,

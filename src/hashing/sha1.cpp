@@ -11,10 +11,93 @@ constexpr std::uint32_t rotl32(std::uint32_t x, int k) {
   return (x << k) | (x >> (32 - k));
 }
 
+constexpr std::array<std::uint32_t, 5> kInitState = {
+    0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+
+// One SHA-1 compression over a prepared 16-word big-endian block,
+// fully unrolled in the classic block-sha1 style: the message schedule
+// lives in a 16-word circular buffer expanded in step with the rounds
+// (no 80-word array, no store/reload round-trip), and the five working
+// variables rotate *roles* between rounds instead of being shuffled
+// through a temp.  The boolean forms are the standard 3-op equivalents
+// of the spec's choose/majority expressions.
+void compress(std::array<std::uint32_t, 5>& state,
+              const std::uint32_t block_words[16]) {
+  std::uint32_t w[16];
+  for (int t = 0; t < 16; ++t) w[t] = block_words[t];
+
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                e = state[4];
+
+  // Schedule word for round t: the block itself for t < 16, then the
+  // rot-xor expansion computed in place.
+  const auto sched = [&w](int t) -> std::uint32_t {
+    if (t < 16) return w[t];
+    const std::uint32_t v = rotl32(w[(t - 3) & 15] ^ w[(t - 8) & 15] ^
+                                       w[(t - 14) & 15] ^ w[t & 15],
+                                   1);
+    w[t & 15] = v;
+    return v;
+  };
+  // One round with explicit variable roles; callers rotate the roles so
+  // no data ever moves between the five registers.
+  const auto rnd = [&sched](std::uint32_t va, std::uint32_t& vb,
+                            std::uint32_t vc, std::uint32_t vd,
+                            std::uint32_t& ve, std::uint32_t f,
+                            std::uint32_t k, int t) {
+    ve += rotl32(va, 5) + f + k + sched(t);
+    vb = rotl32(vb, 30);
+  };
+  const auto ch = [](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return z ^ (x & (y ^ z));
+  };
+  const auto par = [](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return x ^ y ^ z;
+  };
+  const auto maj = [](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (x & y) | (z & (x | y));
+  };
+
+  for (int t = 0; t < 20; t += 5) {
+    rnd(a, b, c, d, e, ch(b, c, d), 0x5A827999u, t);
+    rnd(e, a, b, c, d, ch(a, b, c), 0x5A827999u, t + 1);
+    rnd(d, e, a, b, c, ch(e, a, b), 0x5A827999u, t + 2);
+    rnd(c, d, e, a, b, ch(d, e, a), 0x5A827999u, t + 3);
+    rnd(b, c, d, e, a, ch(c, d, e), 0x5A827999u, t + 4);
+  }
+  for (int t = 20; t < 40; t += 5) {
+    rnd(a, b, c, d, e, par(b, c, d), 0x6ED9EBA1u, t);
+    rnd(e, a, b, c, d, par(a, b, c), 0x6ED9EBA1u, t + 1);
+    rnd(d, e, a, b, c, par(e, a, b), 0x6ED9EBA1u, t + 2);
+    rnd(c, d, e, a, b, par(d, e, a), 0x6ED9EBA1u, t + 3);
+    rnd(b, c, d, e, a, par(c, d, e), 0x6ED9EBA1u, t + 4);
+  }
+  for (int t = 40; t < 60; t += 5) {
+    rnd(a, b, c, d, e, maj(b, c, d), 0x8F1BBCDCu, t);
+    rnd(e, a, b, c, d, maj(a, b, c), 0x8F1BBCDCu, t + 1);
+    rnd(d, e, a, b, c, maj(e, a, b), 0x8F1BBCDCu, t + 2);
+    rnd(c, d, e, a, b, maj(d, e, a), 0x8F1BBCDCu, t + 3);
+    rnd(b, c, d, e, a, maj(c, d, e), 0x8F1BBCDCu, t + 4);
+  }
+  for (int t = 60; t < 80; t += 5) {
+    rnd(a, b, c, d, e, par(b, c, d), 0xCA62C1D6u, t);
+    rnd(e, a, b, c, d, par(a, b, c), 0xCA62C1D6u, t + 1);
+    rnd(d, e, a, b, c, par(e, a, b), 0xCA62C1D6u, t + 2);
+    rnd(c, d, e, a, b, par(d, e, a), 0xCA62C1D6u, t + 3);
+    rnd(b, c, d, e, a, par(c, d, e), 0xCA62C1D6u, t + 4);
+  }
+
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+}
+
 }  // namespace
 
 void Sha1::reset() {
-  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  state_ = kInitState;
   buffered_ = 0;
   total_bytes_ = 0;
 }
@@ -80,46 +163,14 @@ Sha1::Digest Sha1::finish() {
 }
 
 void Sha1::process_block(const std::uint8_t* block) {
-  std::uint32_t w[80];
+  std::uint32_t w[16];
   for (int t = 0; t < 16; ++t) {
     w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
            (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
            (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
            static_cast<std::uint32_t>(block[4 * t + 3]);
   }
-  for (int t = 16; t < 80; ++t) {
-    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-                e = state_[4];
-  for (int t = 0; t < 80; ++t) {
-    std::uint32_t f, k;
-    if (t < 20) {
-      f = (b & c) | ((~b) & d);
-      k = 0x5A827999u;
-    } else if (t < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1u;
-    } else if (t < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDCu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6u;
-    }
-    const std::uint32_t temp = rotl32(a, 5) + f + e + w[t] + k;
-    e = d;
-    d = c;
-    c = rotl32(b, 30);
-    b = a;
-    a = temp;
-  }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
+  compress(state_, w);
 }
 
 Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
@@ -135,11 +186,33 @@ Sha1::Digest Sha1::hash(std::string_view data) {
 }
 
 support::Uint160 Sha1::hash_u64(std::uint64_t value) {
-  std::uint8_t bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  // Single-block fast path: an 8-byte message always pads to exactly one
+  // block (8 LE message bytes, 0x80, zeros, 64-bit big-endian bit length),
+  // so the schedule can be built in place — no buffering, no incremental
+  // padding.  This is the hot primitive of world construction (one call
+  // per task key and per node ID); it must stay bit-identical to
+  // hash(span_of_le_bytes(value)), which tests/hashing asserts.
+  std::uint32_t w[16] = {};
+  const auto byte = [value](int i) {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint8_t>(value >> (8 * i)));
+  };
+  w[0] = (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  w[1] = (byte(4) << 24) | (byte(5) << 16) | (byte(6) << 8) | byte(7);
+  w[2] = 0x80000000u;  // terminator bit directly after the message
+  w[15] = 64;          // bit length of the 8-byte message
+
+  std::array<std::uint32_t, 5> state = kInitState;
+  compress(state, w);
+
+  std::array<std::uint8_t, 20> digest{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
   }
-  return support::Uint160::from_bytes(hash(std::span(bytes, 8)));
+  return support::Uint160::from_bytes(digest);
 }
 
 support::Uint160 Sha1::hash_to_ring(std::string_view text) {

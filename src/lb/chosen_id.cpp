@@ -9,7 +9,8 @@ namespace dhtlb::lb {
 void ChosenIdSplit::decide(sim::World& world, support::Rng& rng,
                            sim::StrategyCounters& counters) {
   const std::size_t sample = world.params().num_successors;
-  for (const sim::NodeIndex idx : shuffled_alive(world, rng)) {
+  shuffled_alive_into(world, rng, order_);
+  for (const sim::NodeIndex idx : order_) {
     retire_idle_sybils(world, idx, counters);
     if (!may_create_sybil(world, idx)) continue;
 
@@ -18,8 +19,7 @@ void ChosenIdSplit::decide(sim::World& world, support::Rng& rng,
     std::optional<sim::ArcView> target;
     if (scope_ == Scope::kNeighborhood) {
       const support::Uint160 self = world.physical(idx).vnode_ids.front();
-      for (const auto& sid : world.successors_of(self, sample)) {
-        const sim::ArcView arc = world.arc_of(sid);
+      for (const sim::ArcView& arc : world.successor_arcs(self, sample)) {
         ++counters.workload_queries;
         if (arc.owner == idx || arc.task_count == 0) continue;
         if (!target || arc.task_count > target->task_count) target = arc;

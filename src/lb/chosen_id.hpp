@@ -42,6 +42,7 @@ class ChosenIdSplit final : public sim::Strategy {
 
  private:
   Scope scope_;
+  std::vector<sim::NodeIndex> order_;  // reused visitation-order buffer
 };
 
 }  // namespace dhtlb::lb

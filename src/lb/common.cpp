@@ -33,14 +33,20 @@ void record_placement(std::uint64_t acquired,
 
 std::vector<sim::NodeIndex> shuffled_alive(const sim::World& world,
                                            support::Rng& rng) {
-  std::vector<sim::NodeIndex> order = world.alive_indices();
+  std::vector<sim::NodeIndex> order;
+  shuffled_alive_into(world, rng, order);
+  return order;
+}
+
+void shuffled_alive_into(const sim::World& world, support::Rng& rng,
+                         std::vector<sim::NodeIndex>& out) {
+  out = world.alive_indices();
   // Fisher-Yates with the simulation's own RNG (std::shuffle's output is
   // implementation-defined, which would break cross-platform determinism).
-  for (std::size_t i = order.size(); i > 1; --i) {
+  for (std::size_t i = out.size(); i > 1; --i) {
     const std::size_t j = static_cast<std::size_t>(rng.below(i));
-    std::swap(order[i - 1], order[j]);
+    std::swap(out[i - 1], out[j]);
   }
-  return order;
 }
 
 }  // namespace dhtlb::lb

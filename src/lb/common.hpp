@@ -36,4 +36,11 @@ void record_placement(std::uint64_t acquired,
 std::vector<sim::NodeIndex> shuffled_alive(const sim::World& world,
                                            support::Rng& rng);
 
+/// Allocation-free variant: fills `out` (reusing its capacity) with the
+/// alive indices in the same shuffled order shuffled_alive() returns.
+/// Strategies call this every decision round with a member scratch
+/// buffer, so the per-round O(alive) allocation disappears.
+void shuffled_alive_into(const sim::World& world, support::Rng& rng,
+                         std::vector<sim::NodeIndex>& out);
+
 }  // namespace dhtlb::lb

@@ -9,7 +9,8 @@ namespace dhtlb::lb {
 void Invitation::decide(sim::World& world, support::Rng& rng,
                         sim::StrategyCounters& counters) {
   const std::uint64_t threshold = world.params().sybil_threshold;
-  for (const sim::NodeIndex idx : shuffled_alive(world, rng)) {
+  shuffled_alive_into(world, rng, order_);
+  for (const sim::NodeIndex idx : order_) {
     retire_idle_sybils(world, idx, counters);
     if (world.workload(idx) <= threshold) continue;  // not overburdened
 
@@ -27,17 +28,15 @@ void Invitation::decide(sim::World& world, support::Rng& rng,
     if (span <= support::Uint160{1}) continue;  // nowhere to stand
 
     // Announce to the predecessor list of that vnode (§V-B: nodes track
-    // numSuccessors predecessors too).
+    // numSuccessors predecessors too).  Allocation-free arc walk.
     ++counters.invitations_sent;
-    const auto predecessors =
-        world.predecessors_of(heavy->id, world.params().num_successors);
 
     // The helper: least-loaded DISTINCT physical owner at or below the
     // threshold with spare Sybil capacity.
     std::optional<sim::NodeIndex> helper;
     std::uint64_t helper_load = 0;
-    for (const auto& pid : predecessors) {
-      const sim::ArcView parc = world.arc_of(pid);
+    for (const sim::ArcView& parc :
+         world.predecessor_arcs(heavy->id, world.params().num_successors)) {
       if (parc.owner == idx) continue;  // don't invite ourselves
       const std::uint64_t load = world.workload(parc.owner);
       if (load > threshold) continue;

@@ -26,6 +26,9 @@ class Invitation final : public sim::Strategy {
 
   void decide(sim::World& world, support::Rng& rng,
               sim::StrategyCounters& counters) override;
+
+ private:
+  std::vector<sim::NodeIndex> order_;  // reused visitation-order buffer
 };
 
 }  // namespace dhtlb::lb

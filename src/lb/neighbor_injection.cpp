@@ -9,17 +9,18 @@ namespace dhtlb::lb {
 void NeighborInjection::decide(sim::World& world, support::Rng& rng,
                                sim::StrategyCounters& counters) {
   const bool use_marks = world.params().mark_failed_ranges;
-  for (const sim::NodeIndex idx : shuffled_alive(world, rng)) {
+  shuffled_alive_into(world, rng, order_);
+  for (const sim::NodeIndex idx : order_) {
     retire_idle_sybils(world, idx, counters);
     if (!may_create_sybil(world, idx)) continue;
 
     // The node scans from its PRIMARY ring position; its Sybils' lists
     // would point at the same neighborhood-sized slices elsewhere, but
-    // the paper describes the node acting from one vantage point.
+    // the paper describes the node acting from one vantage point.  The
+    // successor list is consumed as an allocation-free arc walk.
     const support::Uint160 self = world.physical(idx).vnode_ids.front();
     const auto successors =
-        world.successors_of(self, world.params().num_successors);
-    if (successors.empty()) continue;
+        world.successor_arcs(self, world.params().num_successors);
 
     auto* marks = use_marks ? &invalid_[idx] : nullptr;
 
@@ -27,10 +28,9 @@ void NeighborInjection::decide(sim::World& world, support::Rng& rng,
     std::optional<sim::ArcView> target;
     if (mode_ == Mode::kEstimate) {
       support::Uint160 best_size{};
-      for (const auto& sid : successors) {
-        const sim::ArcView arc = world.arc_of(sid);
+      for (const sim::ArcView& arc : successors) {
         if (arc.owner == idx) continue;  // don't shave our own Sybils
-        if (marks != nullptr && marks->contains(sid)) continue;
+        if (marks != nullptr && marks->contains(arc.id)) continue;
         const support::Uint160 size = support::arc_size(arc.pred, arc.id);
         if (!target || size > best_size) {
           target = arc;
@@ -39,11 +39,10 @@ void NeighborInjection::decide(sim::World& world, support::Rng& rng,
       }
     } else {
       std::uint64_t best_tasks = 0;
-      for (const auto& sid : successors) {
-        const sim::ArcView arc = world.arc_of(sid);
+      for (const sim::ArcView& arc : successors) {
         ++counters.workload_queries;  // smart variant pays one probe each
         if (arc.owner == idx) continue;
-        if (marks != nullptr && marks->contains(sid)) continue;
+        if (marks != nullptr && marks->contains(arc.id)) continue;
         if (!target || arc.task_count > best_tasks) {
           target = arc;
           best_tasks = arc.task_count;

@@ -50,6 +50,7 @@ class NeighborInjection final : public sim::Strategy {
   };
 
   Mode mode_;
+  std::vector<sim::NodeIndex> order_;  // reused visitation-order buffer
   // Arcs (keyed by their owning vnode ID) a given physical node has
   // marked invalid after a fruitless placement.  Only consulted when
   // params.mark_failed_ranges is set.

@@ -6,7 +6,8 @@ namespace dhtlb::lb {
 
 void RandomInjection::decide(sim::World& world, support::Rng& rng,
                              sim::StrategyCounters& counters) {
-  for (const sim::NodeIndex idx : shuffled_alive(world, rng)) {
+  shuffled_alive_into(world, rng, order_);
+  for (const sim::NodeIndex idx : order_) {
     retire_idle_sybils(world, idx, counters);
     if (!may_create_sybil(world, idx)) continue;
     // "Creating a Sybil node at a random address": a fresh SHA-1 ID, the

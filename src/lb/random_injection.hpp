@@ -20,6 +20,9 @@ class RandomInjection final : public sim::Strategy {
 
   void decide(sim::World& world, support::Rng& rng,
               sim::StrategyCounters& counters) override;
+
+ private:
+  std::vector<sim::NodeIndex> order_;  // reused visitation-order buffer
 };
 
 }  // namespace dhtlb::lb

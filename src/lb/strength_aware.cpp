@@ -17,7 +17,8 @@ std::uint64_t StrengthAware::appetite(const sim::World& world,
 
 void StrengthAware::decide(sim::World& world, support::Rng& rng,
                            sim::StrategyCounters& counters) {
-  for (const sim::NodeIndex idx : shuffled_alive(world, rng)) {
+  shuffled_alive_into(world, rng, order_);
+  for (const sim::NodeIndex idx : order_) {
     retire_idle_sybils(world, idx, counters);
     if (world.workload(idx) > appetite(world, idx)) continue;
     if (world.sybil_count(idx) >= world.sybil_cap(idx)) continue;
@@ -28,9 +29,8 @@ void StrengthAware::decide(sim::World& world, support::Rng& rng,
     // Probe the successor list for the most loaded foreign arc (the
     // smart-neighbor information model: one query per successor).
     std::optional<sim::ArcView> target;
-    for (const auto& sid :
-         world.successors_of(self, world.params().num_successors)) {
-      const sim::ArcView arc = world.arc_of(sid);
+    for (const sim::ArcView& arc :
+         world.successor_arcs(self, world.params().num_successors)) {
       ++counters.workload_queries;
       if (arc.owner == idx || arc.task_count == 0) continue;
       if (!target || arc.task_count > target->task_count) target = arc;

@@ -41,6 +41,8 @@ class StrengthAware final : public sim::Strategy {
   /// as "hungry" given its strength.
   static std::uint64_t appetite(const sim::World& world,
                                 sim::NodeIndex idx);
+
+  std::vector<sim::NodeIndex> order_;  // reused visitation-order buffer
 };
 
 }  // namespace dhtlb::lb

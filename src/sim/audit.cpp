@@ -218,6 +218,13 @@ void InvariantAuditor::check_workload_cache(AuditReport& report) const {
       });
     }
   }
+  // The consume() fast path walks cached VirtualNode pointers; a stale
+  // entry would silently consume from the wrong arc.
+  if (!world_.vnode_cache_consistent()) {
+    fail(report, "workload-cache", [](std::ostream& os) {
+      os << "cached VirtualNode pointers disagree with vnode_ids/ring";
+    });
+  }
 }
 
 void InvariantAuditor::check_membership(AuditReport& report) const {

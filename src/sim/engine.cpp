@@ -44,8 +44,10 @@ void Engine::churn_step() {
   if (params_.churn_rate <= 0.0) return;
   // Departures: per-node Bernoulli over a snapshot of the alive set (the
   // set mutates as nodes leave).  The last remaining node never departs.
-  const std::vector<NodeIndex> alive_now = world_.alive_indices();
-  for (const NodeIndex idx : alive_now) {
+  // The snapshot reuses a member buffer: churn runs every tick, and a
+  // fresh O(alive) allocation per tick is measurable at scale.
+  churn_scratch_ = world_.alive_indices();
+  for (const NodeIndex idx : churn_scratch_) {
     if (world_.alive_count() <= 1) break;
     if (rng_.bernoulli(params_.churn_rate) && world_.depart(idx)) {
       ++leaves_;

@@ -110,6 +110,7 @@ class Engine {
   std::vector<Snapshot> snapshots_;
   bool record_series_ = false;
   std::vector<std::uint64_t> series_;
+  std::vector<NodeIndex> churn_scratch_;  // reused alive-set snapshot
 };
 
 }  // namespace dhtlb::sim

@@ -28,6 +28,7 @@ World::World(const Params& params, support::Rng& rng)
 
   alive_.reserve(n);
   waiting_.reserve(n);
+  vnode_cache_.resize(physicals_.size());
   for (std::size_t i = 0; i < n; ++i) {
     alive_.push_back(static_cast<NodeIndex>(i));
   }
@@ -41,19 +42,31 @@ World::World(const Params& params, support::Rng& rng)
     VirtualNode vnode;
     vnode.owner = idx;
     vnode.is_sybil = false;
-    ring_.emplace(id, std::move(vnode));
+    const auto [it, inserted] = ring_.emplace(id, std::move(vnode));
+    DHTLB_ASSERT(inserted, "World: fresh_ring_id returned a duplicate");
     physicals_[idx].vnode_ids.push_back(id);
+    vnode_cache_[idx].push_back(&it->second);
     initial_capacity_ += work_per_tick(idx);
   }
 
   // Assign SHA-1-keyed tasks to their owner arcs: owner of key k is the
-  // first vnode clockwise at or after k.
+  // first vnode clockwise at or after k.  The ring is fixed for the
+  // whole bulk assignment, so resolve owners against a contiguous sorted
+  // snapshot of the ring (binary search with cache-friendly accesses)
+  // instead of paying a std::map tree walk per task.  Keys are still
+  // drawn and appended in draw order, so every TaskStore's contents are
+  // bit-identical to the incremental construction.
+  std::vector<std::pair<Uint160, VirtualNode*>> arcs;
+  arcs.reserve(ring_.size());
+  for (auto& [id, vnode] : ring_) arcs.emplace_back(id, &vnode);
   for (std::uint64_t t = 0; t < params_.total_tasks; ++t) {
     const Uint160 key = hashing::Sha1::hash_u64(rng_());
-    auto it = ring_.lower_bound(key);
-    if (it == ring_.end()) it = ring_.begin();
-    it->second.tasks.add(key);
-    ++physicals_[it->second.owner].workload;
+    auto it = std::lower_bound(
+        arcs.begin(), arcs.end(), key,
+        [](const auto& arc, const Uint160& k) { return arc.first < k; });
+    if (it == arcs.end()) it = arcs.begin();
+    it->second->tasks.add(key);
+    ++physicals_[it->second->owner].workload;
   }
   remaining_ = params_.total_tasks;
 }
@@ -109,17 +122,59 @@ ArcView World::arc_of(const Uint160& vnode_id) const {
   return view;
 }
 
+ArcView World::ArcWalk::iterator::operator*() const {
+  ArcView view;
+  view.id = cursor_->first;
+  view.pred = world_->ring_predecessor(cursor_)->first;
+  view.owner = cursor_->second.owner;
+  view.is_sybil = cursor_->second.is_sybil;
+  view.task_count = cursor_->second.tasks.size();
+  return view;
+}
+
+World::ArcWalk::iterator& World::ArcWalk::iterator::operator++() {
+  cursor_ = forward_ ? world_->ring_successor(cursor_)
+                     : world_->ring_predecessor(cursor_);
+  --remaining_;
+  if (remaining_ != 0 && cursor_->first == start_) remaining_ = 0;
+  return *this;
+}
+
+World::ArcWalk::iterator World::ArcWalk::begin() const {
+  iterator it;
+  it.world_ = world_;
+  it.forward_ = forward_;
+  it.start_ = start_->first;
+  it.cursor_ = forward_ ? world_->ring_successor(start_)
+                        : world_->ring_predecessor(start_);
+  // A walk is empty when k is zero or the starting vnode is alone in the
+  // ring (its only neighbor is itself).
+  it.remaining_ = (k_ == 0 || it.cursor_->first == it.start_) ? 0 : k_;
+  return it;
+}
+
+World::ArcWalk World::successor_arcs(const Uint160& vnode_id,
+                                     std::size_t k) const {
+  const auto it = ring_.find(vnode_id);
+  DHTLB_CHECK(it != ring_.end(), "successor_arcs: vnode " << vnode_id
+                                                          << " not in ring");
+  return ArcWalk(this, it, k, /*forward=*/true);
+}
+
+World::ArcWalk World::predecessor_arcs(const Uint160& vnode_id,
+                                       std::size_t k) const {
+  const auto it = ring_.find(vnode_id);
+  DHTLB_CHECK(it != ring_.end(), "predecessor_arcs: vnode "
+                                     << vnode_id << " not in ring");
+  return ArcWalk(this, it, k, /*forward=*/false);
+}
+
 std::vector<Uint160> World::successors_of(const Uint160& vnode_id,
                                           std::size_t k) const {
   std::vector<Uint160> out;
-  auto it = ring_.find(vnode_id);
-  DHTLB_CHECK(it != ring_.end(), "successors_of: vnode " << vnode_id
-                                                         << " not in ring");
   out.reserve(k);
-  auto cursor = ring_successor(it);
-  while (out.size() < k && cursor->first != vnode_id) {
-    out.push_back(cursor->first);
-    cursor = ring_successor(cursor);
+  for (const ArcView& arc : successor_arcs(vnode_id, k)) {
+    out.push_back(arc.id);
   }
   return out;
 }
@@ -127,15 +182,9 @@ std::vector<Uint160> World::successors_of(const Uint160& vnode_id,
 std::vector<Uint160> World::predecessors_of(const Uint160& vnode_id,
                                             std::size_t k) const {
   std::vector<Uint160> out;
-  auto it = ring_.find(vnode_id);
-  DHTLB_CHECK(it != ring_.end(), "predecessors_of: vnode " << vnode_id
-                                                           << " not in ring");
   out.reserve(k);
-  auto cursor = it;
-  while (out.size() < k) {
-    cursor = ring_.find(ring_predecessor(cursor)->first);
-    if (cursor->first == vnode_id) break;
-    out.push_back(cursor->first);
+  for (const ArcView& arc : predecessor_arcs(vnode_id, k)) {
+    out.push_back(arc.id);
   }
   return out;
 }
@@ -143,7 +192,15 @@ std::vector<Uint160> World::predecessors_of(const Uint160& vnode_id,
 ArcView World::arc_covering(const Uint160& point) const {
   auto it = ring_.lower_bound(point);
   if (it == ring_.end()) it = ring_.begin();
-  return arc_of(it->first);
+  // Build the view from the iterator we already hold — arc_of(it->first)
+  // would repeat the ring walk just performed by lower_bound.
+  ArcView view;
+  view.id = it->first;
+  view.pred = ring_predecessor(it)->first;
+  view.owner = it->second.owner;
+  view.is_sybil = it->second.is_sybil;
+  view.task_count = it->second.tasks.size();
+  return view;
 }
 
 std::optional<Uint160> World::median_task_key(const Uint160& vnode_id) const {
@@ -200,8 +257,10 @@ std::optional<std::uint64_t> World::create_sybil(NodeIndex owner,
   physicals_[succ->second.owner].workload -= acquired;
   physicals_[owner].workload += acquired;
 
-  ring_.emplace(id, std::move(vnode));
+  const auto [it, inserted] = ring_.emplace(id, std::move(vnode));
+  DHTLB_ASSERT(inserted, "create_sybil: duplicate id survived the guard");
   physicals_[owner].vnode_ids.push_back(id);
+  vnode_cache_[owner].push_back(&it->second);
   return acquired;
 }
 
@@ -224,6 +283,7 @@ void World::remove_sybils(NodeIndex owner) {
   while (ids.size() > 1) {
     remove_vnode(ids.back());
     ids.pop_back();
+    vnode_cache_[owner].pop_back();
   }
 }
 
@@ -238,6 +298,7 @@ bool World::depart(NodeIndex idx) {
   while (!node.vnode_ids.empty()) {
     remove_vnode(node.vnode_ids.back());
     node.vnode_ids.pop_back();
+    vnode_cache_[idx].pop_back();
   }
   DHTLB_ASSERT(node.workload == 0,
                "depart: node " << idx << " left the ring still holding "
@@ -269,8 +330,10 @@ std::optional<NodeIndex> World::join_from_pool() {
   physicals_[succ->second.owner].workload -= acquired;
   node.workload = acquired;
 
-  ring_.emplace(id, std::move(vnode));
+  const auto [it, inserted] = ring_.emplace(id, std::move(vnode));
+  DHTLB_ASSERT(inserted, "join_from_pool: fresh id collided with the ring");
   node.vnode_ids.push_back(id);
+  vnode_cache_[idx].push_back(&it->second);
   return idx;
 }
 
@@ -280,11 +343,13 @@ std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
   while (consumed < budget && node.workload > 0) {
     // Work on the most-loaded vnode first; within a vnode, task order is
     // immaterial (uniform random pick, see TaskStore::consume_random).
+    // The cached pointers mirror vnode_ids in order, so the scan picks
+    // the same vnode (including on ties) as a ring lookup per id would,
+    // without the O(log ring) find per vnode.
     VirtualNode* busiest = nullptr;
-    for (const Uint160& vid : node.vnode_ids) {
-      VirtualNode& vnode = ring_.at(vid);
-      if (busiest == nullptr || vnode.tasks.size() > busiest->tasks.size()) {
-        busiest = &vnode;
+    for (VirtualNode* vnode : vnode_cache_[idx]) {
+      if (busiest == nullptr || vnode->tasks.size() > busiest->tasks.size()) {
+        busiest = vnode;
       }
     }
     if (busiest == nullptr || busiest->tasks.empty()) break;
@@ -309,6 +374,20 @@ std::vector<Uint160> World::ring_ids() const {
 
 bool World::check_invariants() const {
   return InvariantAuditor(*this).run().ok();
+}
+
+bool World::vnode_cache_consistent() const {
+  if (vnode_cache_.size() != physicals_.size()) return false;
+  for (std::size_t i = 0; i < physicals_.size(); ++i) {
+    const auto& ids = physicals_[i].vnode_ids;
+    const auto& cache = vnode_cache_[i];
+    if (cache.size() != ids.size()) return false;
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const auto it = ring_.find(ids[j]);
+      if (it == ring_.end() || cache[j] != &it->second) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace dhtlb::sim

@@ -61,11 +61,62 @@ struct ArcView {
 };
 
 class World {
+  using RingMap = std::map<Uint160, VirtualNode>;
+
  public:
   /// Builds the initial network: `initial_nodes` alive physical nodes
   /// with SHA-1 IDs, an equal-size waiting pool, and `total_tasks`
   /// SHA-1-keyed tasks assigned to their owner arcs.
   World(const Params& params, support::Rng& rng);
+
+  /// Lazy, allocation-free walk over up to k neighbor arcs of a vnode —
+  /// the hot-path form of successors_of/predecessors_of + arc_of.  Each
+  /// dereference yields the ArcView of the next vnode clockwise (or
+  /// counterclockwise) using cached ring iterators, so a full scan of a
+  /// successor list costs one ring lookup total instead of one per
+  /// neighbor plus a vector allocation.  The walk stops early when the
+  /// ring wraps back to the starting vnode.  Iterators are invalidated
+  /// by any ring mutation (join/depart/create_sybil/remove_sybils).
+  class ArcWalk {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::input_iterator_tag;
+      using value_type = ArcView;
+      using difference_type = std::ptrdiff_t;
+
+      ArcView operator*() const;
+      iterator& operator++();
+      bool operator==(const iterator& other) const {
+        return remaining_ == other.remaining_;
+      }
+      bool operator!=(const iterator& other) const {
+        return !(*this == other);
+      }
+
+     private:
+      friend class ArcWalk;
+      const World* world_ = nullptr;
+      RingMap::const_iterator cursor_{};
+      Uint160 start_{};
+      std::size_t remaining_ = 0;  // 0 == end
+      bool forward_ = true;
+    };
+
+    iterator begin() const;
+    iterator end() const { return iterator{}; }
+
+   private:
+    friend class World;
+    ArcWalk(const World* world, RingMap::const_iterator start, std::size_t k,
+            bool forward)
+        : world_(world), start_(start), k_(k), forward_(forward) {}
+
+    const World* world_;
+    RingMap::const_iterator start_;
+    std::size_t k_;
+    bool forward_;
+  };
 
   // --- global observers ---------------------------------------------------
 
@@ -119,12 +170,23 @@ class World {
 
   /// Up to k vnode IDs clockwise after `vnode_id` (its successor list).
   /// Stops early if the ring wraps back to the starting vnode.
+  /// Convenience wrapper over successor_arcs(); allocates the vector.
   std::vector<Uint160> successors_of(const Uint160& vnode_id,
                                      std::size_t k) const;
 
   /// Up to k vnode IDs counterclockwise before `vnode_id`.
+  /// Convenience wrapper over predecessor_arcs(); allocates the vector.
   std::vector<Uint160> predecessors_of(const Uint160& vnode_id,
                                        std::size_t k) const;
+
+  /// Allocation-free walk over the ArcViews of up to k successors of
+  /// `vnode_id`, clockwise.  Yields exactly the arcs that
+  /// successors_of + arc_of would produce, in the same order.
+  ArcWalk successor_arcs(const Uint160& vnode_id, std::size_t k) const;
+
+  /// Allocation-free walk over the ArcViews of up to k predecessors of
+  /// `vnode_id`, counterclockwise.
+  ArcWalk predecessor_arcs(const Uint160& vnode_id, std::size_t k) const;
 
   bool ring_contains(const Uint160& id) const { return ring_.contains(id); }
 
@@ -178,12 +240,16 @@ class World {
   /// details matter.
   bool check_invariants() const;
 
+  /// True iff the per-physical-node cached VirtualNode pointers agree
+  /// with vnode_ids and the ring (the consume() fast path relies on
+  /// them).  O(ring log ring); for the auditor and tests.
+  bool vnode_cache_consistent() const;
+
  private:
   // Test-only: lets auditor tests seed deliberate corruptions (orphaned
   // keys, duplicated arcs, dangling Sybil owners) that the public API
   // makes impossible by construction.
   friend struct testing::WorldCorruptor;
-  using RingMap = std::map<Uint160, VirtualNode>;
 
   RingMap::const_iterator ring_successor(RingMap::const_iterator it) const;
   RingMap::const_iterator ring_predecessor(RingMap::const_iterator it) const;
@@ -200,6 +266,12 @@ class World {
   support::Rng& rng_;
   RingMap ring_;
   std::vector<PhysicalNode> physicals_;
+  // Cached &ring_[id] for each entry of physicals_[i].vnode_ids, same
+  // order.  std::map guarantees value pointers stay stable across other
+  // elements' insert/erase, so consume() can reach a node's TaskStores
+  // without an O(log ring) find per vnode per tick.  Maintained at every
+  // vnode_ids mutation site; audited by vnode_cache_consistent().
+  std::vector<std::vector<VirtualNode*>> vnode_cache_;
   std::vector<NodeIndex> alive_;
   std::vector<NodeIndex> waiting_;
   std::uint64_t remaining_ = 0;

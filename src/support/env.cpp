@@ -24,4 +24,17 @@ std::size_t env_threads() {
   return static_cast<std::size_t>(env_u64("DHTLB_THREADS", 0));
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return raw;
+}
+
+bool env_flag(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const std::string v(raw);
+  return !(v == "0" || v == "false" || v == "off");
+}
+
 }  // namespace dhtlb::support

@@ -27,4 +27,11 @@ std::uint64_t env_seed();
 /// Thread count for trial fans: DHTLB_THREADS or 0 (= hardware).
 std::size_t env_threads();
 
+/// Reads a string env var; returns fallback when unset or empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Reads a boolean env var: "0"/"false"/"off" → false, anything else
+/// non-empty → true, unset/empty → fallback.
+bool env_flag(const std::string& name, bool fallback);
+
 }  // namespace dhtlb::support

@@ -1,0 +1,174 @@
+// Tests for the bench telemetry harness: schema fields, stable key
+// ordering, deterministic output at a fixed seed, and the env knobs.
+#include "harness/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dhtlb::bench {
+namespace {
+
+// setenv/unsetenv scoped helper; tests below mutate DHTLB_* knobs.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_;
+};
+
+std::vector<Record> sample_records() {
+  Record a;
+  a.experiment = "exp";
+  a.cell = "cell/one";
+  a.metric = "runtime_factor_mean";
+  a.value = 1.25;
+  a.wall_ms = 10.5;
+  a.seed = 42;
+  a.trials = 8;
+  Record b = a;
+  b.cell = "cell/two";
+  b.value = 0.1 + 0.2;  // non-representable sum: %.17g must round-trip
+  return {a, b};
+}
+
+TEST(ToJson, ContainsEverySchemaField) {
+  const std::string json = to_json("exp", sample_records());
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"experiment\": \"exp\""), std::string::npos);
+  for (const char* key :
+       {"\"cell\"", "\"metric\"", "\"seed\"", "\"trials\"", "\"value\"",
+        "\"wall_ms\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ToJson, KeysInAlphabeticalOrderWithinRecord) {
+  const std::string json = to_json("exp", sample_records());
+  const char* keys[] = {"\"cell\"",  "\"experiment\"", "\"metric\"",
+                        "\"seed\"",  "\"trials\"",     "\"value\"",
+                        "\"wall_ms\""};
+  const std::size_t record_start = json.find("{\"cell\"");
+  ASSERT_NE(record_start, std::string::npos);
+  std::size_t prev = record_start;
+  for (const char* key : keys) {
+    const std::size_t pos = json.find(key, record_start);
+    ASSERT_NE(pos, std::string::npos) << key;
+    EXPECT_GE(pos, prev) << key << " out of order";
+    prev = pos;
+  }
+}
+
+TEST(ToJson, ByteStableAcrossCalls) {
+  const auto records = sample_records();
+  EXPECT_EQ(to_json("exp", records), to_json("exp", records));
+}
+
+TEST(ToJson, RoundTripsDoublesExactly) {
+  // %.17g must preserve 0.1 + 0.2 != 0.3 in the serialized text.
+  const std::string json = to_json("exp", sample_records());
+  EXPECT_NE(json.find("0.30000000000000004"), std::string::npos);
+}
+
+TEST(ToJson, EscapesQuotesAndBackslashes) {
+  Record r;
+  r.experiment = "exp";
+  r.cell = "quote\"back\\slash";
+  r.metric = "m";
+  const std::string json = to_json("exp", {r});
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(ToJson, EmptyRecordsYieldValidSkeleton) {
+  const std::string json = to_json("exp", {});
+  EXPECT_NE(json.find("\"records\": []"), std::string::npos);
+}
+
+TEST(Telemetry, RecordCapturesEnvSeedAndZeroesWallWhenDeterministic) {
+  ScopedEnv seed("DHTLB_SEED", "1234");
+  ScopedEnv det("DHTLB_BENCH_DETERMINISTIC", "1");
+  ScopedEnv nojson("DHTLB_BENCH_JSON", "0");  // no file side effects
+  Telemetry t("unit");
+  t.record("c", "m", 2.5, 99.0, 4);
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].seed, 1234u);
+  EXPECT_EQ(t.records()[0].trials, 4u);
+  EXPECT_DOUBLE_EQ(t.records()[0].wall_ms, 0.0);  // deterministic mode
+  EXPECT_DOUBLE_EQ(t.records()[0].value, 2.5);
+}
+
+TEST(Telemetry, IdenticalRunsProduceIdenticalJson) {
+  ScopedEnv seed("DHTLB_SEED", "7");
+  ScopedEnv det("DHTLB_BENCH_DETERMINISTIC", "1");
+  ScopedEnv nojson("DHTLB_BENCH_JSON", "0");
+  auto run = [] {
+    Telemetry t("unit");
+    t.record("a", "m", 1.0, 5.0, 2);
+    t.record("b", "m", 2.0, 6.0, 2);
+    return t.json();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Telemetry, FlushWritesFileToBenchDir) {
+  ScopedEnv dir("DHTLB_BENCH_DIR", ::testing::TempDir().c_str());
+  ScopedEnv det("DHTLB_BENCH_DETERMINISTIC", "1");
+  {
+    Telemetry t("flushtest");
+    t.record("c", "m", 3.0, 0.0, 1);
+    EXPECT_TRUE(t.flush());
+  }
+  const std::string path = ::testing::TempDir() + "/BENCH_flushtest.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"experiment\": \"flushtest\""),
+            std::string::npos);
+  EXPECT_NE(buf.str().find("\"value\": 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, JsonKnobDisablesFlush) {
+  ScopedEnv nojson("DHTLB_BENCH_JSON", "0");
+  Telemetry t("disabled");
+  t.record("c", "m", 1.0, 0.0, 1);
+  EXPECT_FALSE(t.flush());
+}
+
+TEST(Telemetry, CalibrationRecordOmittedInDeterministicMode) {
+  ScopedEnv dir("DHTLB_BENCH_DIR", ::testing::TempDir().c_str());
+  ScopedEnv det("DHTLB_BENCH_DETERMINISTIC", "1");
+  {
+    Telemetry t("caltest");
+    t.record("c", "m", 1.0, 0.0, 1);
+    ASSERT_TRUE(t.flush());
+  }
+  const std::string path = ::testing::TempDir() + "/BENCH_caltest.json";
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str().find("__calibration__"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dhtlb::bench

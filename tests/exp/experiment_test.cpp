@@ -57,6 +57,44 @@ TEST(RunTrials, StrategyCountersPropagate) {
   EXPECT_GT(agg.mean_workload_queries, 0.0);
 }
 
+TEST(RunCells, MatchesPerCellRunTrialsExactly) {
+  // run_cells only reschedules: every aggregate must be bit-identical to
+  // the per-cell run_trials result at the same base seed.
+  sim::Params churny = tiny();
+  churny.churn_rate = 0.01;
+  const std::vector<CellSpec> cells = {
+      {tiny(), "none", 4},
+      {churny, "churn", 3},
+      {tiny(), "random-injection", 5},
+  };
+  support::ThreadPool pool(4);
+  const auto batched = run_cells(cells, 21, &pool);
+  ASSERT_EQ(batched.size(), cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Aggregate solo =
+        run_trials(cells[c].params, cells[c].strategy, cells[c].trials, 21);
+    EXPECT_EQ(batched[c].strategy, solo.strategy);
+    EXPECT_EQ(batched[c].trials, solo.trials);
+    EXPECT_DOUBLE_EQ(batched[c].runtime_factor.mean,
+                     solo.runtime_factor.mean);
+    EXPECT_DOUBLE_EQ(batched[c].runtime_factor.min, solo.runtime_factor.min);
+    EXPECT_DOUBLE_EQ(batched[c].runtime_factor.max, solo.runtime_factor.max);
+    EXPECT_DOUBLE_EQ(batched[c].ticks.mean, solo.ticks.mean);
+    EXPECT_DOUBLE_EQ(batched[c].mean_joins, solo.mean_joins);
+    EXPECT_DOUBLE_EQ(batched[c].mean_sybils_created, solo.mean_sybils_created);
+    EXPECT_DOUBLE_EQ(batched[c].mean_workload_queries,
+                     solo.mean_workload_queries);
+  }
+}
+
+TEST(RunCells, HandlesEmptyGridAndZeroTrialCells) {
+  EXPECT_TRUE(run_cells({}, 1).empty());
+  const auto aggs = run_cells({{tiny(), "none", 0}}, 1);
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_EQ(aggs[0].trials, 0u);
+  EXPECT_DOUBLE_EQ(aggs[0].completion_rate, 0.0);
+}
+
 TEST(RunWithSnapshots, DeliversRequestedTicks) {
   const auto r = run_with_snapshots(tiny(), "random-injection", 5, {0, 5, 35});
   ASSERT_EQ(r.snapshots.size(), 3u);

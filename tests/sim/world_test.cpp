@@ -241,6 +241,45 @@ TEST(World, PredecessorsOfWalkCounterClockwise) {
   EXPECT_EQ(w.arc_of(preds[1]).pred, preds[2]);
 }
 
+TEST(World, ArcWalksMatchVectorApis) {
+  // The allocation-free walks must yield exactly the vnodes the vector
+  // APIs return, in the same order, for every start point and length.
+  Rng rng(42);
+  World w(small_params(12, 300), rng);
+  for (const NodeIndex idx : w.alive_indices()) {
+    const Uint160 start = w.physical(idx).vnode_ids[0];
+    for (const std::size_t k : {0u, 1u, 3u, 50u}) {
+      const auto succ_vec = w.successors_of(start, k);
+      std::vector<Uint160> succ_walk;
+      for (const ArcView& arc : w.successor_arcs(start, k)) {
+        succ_walk.push_back(arc.id);
+      }
+      EXPECT_EQ(succ_walk, succ_vec);
+
+      const auto pred_vec = w.predecessors_of(start, k);
+      std::vector<Uint160> pred_walk;
+      for (const ArcView& arc : w.predecessor_arcs(start, k)) {
+        pred_walk.push_back(arc.id);
+      }
+      EXPECT_EQ(pred_walk, pred_vec);
+    }
+  }
+}
+
+TEST(World, ArcWalkYieldsFullArcViews) {
+  // Each walked element is a complete ArcView, identical to arc_of.
+  Rng rng(43);
+  World w(small_params(8, 200), rng);
+  const Uint160 start = w.physical(w.alive_indices()[0]).vnode_ids[0];
+  for (const ArcView& arc : w.successor_arcs(start, 5)) {
+    const ArcView direct = w.arc_of(arc.id);
+    EXPECT_EQ(arc.pred, direct.pred);
+    EXPECT_EQ(arc.owner, direct.owner);
+    EXPECT_EQ(arc.is_sybil, direct.is_sybil);
+    EXPECT_EQ(arc.task_count, direct.task_count);
+  }
+}
+
 TEST(World, ArcViewReportsOwnerAndCount) {
   Rng rng(19);
   World w(small_params(5, 500), rng);
