@@ -1,0 +1,107 @@
+// dhtlb_scenario: runs a .scn scenario file deterministically and emits
+// its metrics through the bench telemetry writer.
+//
+//   dhtlb_scenario scenarios/flash_crowd.scn
+//   dhtlb_scenario scenarios/lossy_network.scn --seed 7
+//   dhtlb_scenario scenarios/mass_failure.scn --check scenarios/goldens/BENCH_scenario_mass_failure.json
+//
+// The JSON output (BENCH_scenario_<name>.json, honoring DHTLB_BENCH_DIR
+// and DHTLB_BENCH_JSON=0) is byte-stable for a fixed (file, seed) pair
+// at any DHTLB_THREADS setting; --check compares it against a committed
+// golden and exits nonzero on any byte difference, which is how CI
+// regression-tests the scenario engine.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "scenario/script.hpp"
+#include "scenario/vm.hpp"
+#include "support/cli.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using namespace dhtlb;
+
+int fail(const std::string& message) {
+  std::cerr << "dhtlb_scenario: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli;
+  cli.add_flag("seed", "N", "", "override the RNG seed (default: the "
+               "script's `seed` header, then DHTLB_SEED)");
+  cli.add_flag("audit", "", "",
+               "run the per-tick invariant auditor (sim substrate)");
+  cli.add_flag("check", "FILE", "",
+               "compare the telemetry JSON against a golden file and exit "
+               "nonzero on any byte difference (implies no file output)");
+  cli.add_flag("quiet", "", "", "suppress the metric table on stdout");
+  cli.add_flag("help", "", "", "show this help");
+
+  if (!cli.parse(argc, argv)) return fail(cli.error());
+  if (cli.get_bool("help")) {
+    std::cout << cli.help("dhtlb_scenario <scenario.scn>",
+                          "Run a scripted scenario deterministically and "
+                          "emit BENCH_scenario_<name>.json telemetry.");
+    return 0;
+  }
+  if (cli.positionals().size() != 1) {
+    return fail("expected exactly one scenario file (see --help)");
+  }
+
+  scenario::Script script;
+  try {
+    script = scenario::Script::load(cli.positionals()[0]);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+
+  const std::uint64_t seed = scenario::resolve_seed(
+      script, cli.has("seed"), cli.has("seed") ? cli.get_u64("seed") : 0,
+      support::env_seed());
+
+  const scenario::ScenarioResult result =
+      scenario::run_scenario(script, seed, cli.get_bool("audit"));
+  const std::string json = bench::to_json(result.experiment, result.records);
+
+  if (!cli.get_bool("quiet")) {
+    std::cout << result.experiment << " (seed " << seed << ")\n";
+    for (const bench::Record& rec : result.records) {
+      std::printf("  %-28s %.17g\n", rec.metric.c_str(), rec.value);
+    }
+  }
+
+  if (cli.has("check") && !cli.get("check").empty()) {
+    const std::string golden_path = cli.get("check");
+    std::ifstream golden_file(golden_path, std::ios::binary);
+    if (!golden_file) return fail("cannot open golden: " + golden_path);
+    std::ostringstream golden;
+    golden << golden_file.rdbuf();
+    if (golden.str() != json) {
+      std::cerr << "dhtlb_scenario: telemetry differs from golden "
+                << golden_path << "\n--- golden ---\n"
+                << golden.str() << "--- got ---\n"
+                << json;
+      return 1;
+    }
+    std::cout << "golden match: " << golden_path << "\n";
+    return 0;
+  }
+
+  if (bench::Telemetry::json_enabled()) {
+    const std::string dir = support::env_string("DHTLB_BENCH_DIR", ".");
+    const std::string path =
+        dir + "/BENCH_" + result.experiment + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return fail("cannot write " + path);
+    out << json;
+    if (!cli.get_bool("quiet")) std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

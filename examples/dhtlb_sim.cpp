@@ -14,6 +14,8 @@
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "lb/factory.hpp"
+#include "scenario/script.hpp"
+#include "scenario/vm.hpp"
 #include "support/cli.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
@@ -42,6 +44,9 @@ int main(int argc, char** argv) {
                "capture workload snapshots at these ticks (1 trial)");
   cli.add_flag("csv", "prefix", "",
                "write <prefix>_summary.csv (+ per-snapshot CSVs)");
+  cli.add_flag("scenario", "file", "",
+               "run a .scn scenario script instead of a single config "
+               "(honors --seed; other flags come from the script)");
   cli.add_flag("list-strategies", "", "", "print strategy names and exit");
   cli.add_flag("help", "", "", "show this help");
 
@@ -64,6 +69,27 @@ int main(int argc, char** argv) {
     std::printf("extensions (SS VII future work):\n");
     for (const auto name : lb::extension_strategy_names()) {
       std::printf("  %s\n", std::string(name).c_str());
+    }
+    return 0;
+  }
+
+  if (!cli.get("scenario").empty()) {
+    try {
+      const auto script = scenario::Script::load(cli.get("scenario"));
+      const std::uint64_t seed = scenario::resolve_seed(
+          script, cli.has("seed"),
+          cli.has("seed") ? cli.get_u64("seed") : 0, support::env_seed());
+      const auto result = scenario::run_scenario(script, seed);
+      std::printf("%s (seed %llu)\n", result.experiment.c_str(),
+                  static_cast<unsigned long long>(seed));
+      support::TextTable table({"metric", "value"});
+      for (const auto& rec : result.records) {
+        table.add_row({rec.metric, support::format_fixed(rec.value, 3)});
+      }
+      std::printf("%s", table.render().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
     }
     return 0;
   }

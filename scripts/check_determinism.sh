@@ -71,6 +71,30 @@ else
   echo "check_determinism: note — $BENCH_BIN not built, skipping bench JSON check"
 fi
 
+# Scenario-engine determinism: one canned scenario's telemetry JSON must
+# byte-compare across DHTLB_THREADS=1 vs 4 (the scenario VM draws from
+# seed-mixed streams only, so parallelism settings must be inert).
+SCN_BIN="$BUILD_DIR/examples/dhtlb_scenario"
+SCN_FILE="$(dirname "$0")/../scenarios/flash_crowd.scn"
+if [[ -x "$SCN_BIN" && -f "$SCN_FILE" ]]; then
+  mkdir -p "$workdir/scn1" "$workdir/scn4"
+  echo "check_determinism: scenario telemetry (1 thread)"
+  DHTLB_THREADS=1 DHTLB_BENCH_DIR="$workdir/scn1" \
+    "$SCN_BIN" "$SCN_FILE" --quiet > /dev/null
+  echo "check_determinism: scenario telemetry (4 threads)"
+  DHTLB_THREADS=4 DHTLB_BENCH_DIR="$workdir/scn4" \
+    "$SCN_BIN" "$SCN_FILE" --quiet > /dev/null
+  if ! cmp -s "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
+              "$workdir/scn4/BENCH_scenario_flash_crowd.json"; then
+    echo "check_determinism: FAIL — scenario JSON depends on thread count" >&2
+    diff -u "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
+            "$workdir/scn4/BENCH_scenario_flash_crowd.json" >&2 || true
+    fail=1
+  fi
+else
+  echo "check_determinism: note — $SCN_BIN not built, skipping scenario JSON check"
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Scenario golden gate: replays every canned scenario under scenarios/
+# and byte-compares its telemetry JSON against the committed golden in
+# scenarios/goldens/.  Any drift — an engine change, an RNG reordering,
+# a metric addition — fails loudly with a diff.
+#
+# Regenerating goldens after an intentional change:
+#   for f in scenarios/*.scn; do \
+#     DHTLB_BENCH_DIR=scenarios/goldens build/examples/dhtlb_scenario "$f" --quiet; done
+#
+# Usage: scripts/check_scenarios.sh [build_dir]
+# Exit 0 on success, 1 on drift, 2 when the runner is missing.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/examples/dhtlb_scenario"
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "check_scenarios: $BIN not found — build the tree first" >&2
+  exit 2
+fi
+
+fail=0
+for scn in "$REPO"/scenarios/*.scn; do
+  name="$(basename "$scn" .scn)"
+  golden="$REPO/scenarios/goldens/BENCH_scenario_${name}.json"
+  if [[ ! -f "$golden" ]]; then
+    echo "check_scenarios: FAIL — missing golden for $name ($golden)" >&2
+    fail=1
+    continue
+  fi
+  if "$BIN" "$scn" --quiet --check "$golden"; then
+    echo "check_scenarios: $name OK"
+  else
+    echo "check_scenarios: FAIL — $name drifted from its golden" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_scenarios: OK — every canned scenario replays byte-identically"

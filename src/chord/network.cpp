@@ -162,6 +162,14 @@ NodeId Network::true_owner(const NodeId& key) const {
   return it->first;
 }
 
+void Network::set_faults(const FaultConfig& config) {
+  DHTLB_CHECK(config.drop >= 0.0 && config.drop <= 1.0 &&
+                  config.delay >= 0.0 && config.delay <= 1.0 &&
+                  config.duplicate >= 0.0 && config.duplicate <= 1.0,
+              "set_faults: probabilities must be in [0, 1]");
+  fault_config_ = config;
+}
+
 ChordNode* Network::find_alive(const NodeId& id) {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();
@@ -174,29 +182,42 @@ const ChordNode* Network::find_alive(const NodeId& id) const {
 
 std::optional<NodeId> Network::rpc_get_successor(const NodeId& callee) {
   ++stats_.get_successor_list;
+  if (roll_duplicate()) ++stats_.get_successor_list;
+  if (roll_drop()) return std::nullopt;
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
+  if (roll_delay()) return std::nullopt;
   return n->successor();
 }
 
 std::optional<std::optional<NodeId>> Network::rpc_get_predecessor(
     const NodeId& callee) {
   ++stats_.get_predecessor;
+  if (roll_duplicate()) ++stats_.get_predecessor;
+  if (roll_drop()) return std::nullopt;
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
+  if (roll_delay()) return std::nullopt;
   return n->predecessor();
 }
 
 std::optional<std::vector<NodeId>> Network::rpc_get_successor_list(
     const NodeId& callee) {
   ++stats_.get_successor_list;
+  if (roll_duplicate()) ++stats_.get_successor_list;
+  if (roll_drop()) return std::nullopt;
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
+  if (roll_delay()) return std::nullopt;
   return n->successor_list();
 }
 
 bool Network::rpc_notify(const NodeId& callee, const NodeId& candidate) {
   ++stats_.notify;
+  if (roll_duplicate()) ++stats_.notify;
+  // A dropped notify never reaches the callee; a delayed one takes
+  // effect but the caller cannot observe the ack in time.
+  if (roll_drop()) return false;
   ChordNode* n = find_alive(callee);
   if (n == nullptr) return false;
   const auto& pred = n->predecessor();
@@ -204,16 +225,23 @@ bool Network::rpc_notify(const NodeId& callee, const NodeId& candidate) {
       find_alive(*pred) == nullptr) {
     n->set_predecessor(candidate);
   }
-  return true;
+  return !roll_delay();
 }
 
 bool Network::rpc_ping(const NodeId& callee) {
   ++stats_.ping;
+  if (roll_duplicate()) ++stats_.ping;
+  // A dropped request and a delayed reply are indistinguishable to the
+  // pinger: both read as "no answer" and may wrongly condemn a live node.
+  if (roll_drop() || roll_delay()) return false;
   return find_alive(callee) != nullptr;
 }
 
 std::optional<NodeId> Network::rpc_closest_preceding(const NodeId& callee,
                                                      const NodeId& key) {
+  // No counter bump here (lookup() accounts the routing step), but the
+  // wire can still lose the exchange.
+  if (roll_drop() || roll_delay()) return std::nullopt;
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
   // Skip over entries we can locally see are dead — models the callee

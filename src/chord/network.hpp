@@ -41,6 +41,25 @@ struct LookupResult {
   int hops = 0;  // routing steps taken (0 when the first node owns it)
 };
 
+/// Envoy-style fault injection for the message layer.  Every RPC rolls
+/// three independent seeded Bernoulli draws:
+///   drop      — the request is lost before reaching the callee (no
+///               side effect; the caller sees a timeout)
+///   delay     — the reply arrives too late to use: the request DID take
+///               effect at the callee (notify still updates state) but
+///               the caller treats the RPC as failed
+///   duplicate — the message is delivered twice; the extra copy costs
+///               one more counted message and is otherwise harmless
+/// All probabilities default to 0: no RNG draw happens and behavior is
+/// bit-identical to a fault-free network, so existing benches/baselines
+/// cannot drift.
+struct FaultConfig {
+  double drop = 0.0;
+  double delay = 0.0;
+  double duplicate = 0.0;
+  bool any() const { return drop > 0.0 || delay > 0.0 || duplicate > 0.0; }
+};
+
 class Network {
  public:
   /// successor_list_size: r in the Chord paper (the tick simulator's
@@ -86,6 +105,18 @@ class Network {
   /// fix_fingers compressed into one call; costs the same messages).
   void build_all_fingers();
 
+  // --- fault injection ----------------------------------------------------
+
+  /// Reseeds the fault injector's RNG stream.  Call once per run before
+  /// enabling faults so (config, seed) replays byte-identically.
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = support::Rng(seed); }
+
+  /// Updates the fault probabilities, keeping the injector stream.
+  /// Setting everything back to 0 turns injection off again.
+  void set_faults(const FaultConfig& config);
+
+  const FaultConfig& faults() const { return fault_config_; }
+
   // --- inspection ---------------------------------------------------------
 
   const ChordNode& node(NodeId id) const { return *nodes_.at(id); }
@@ -120,9 +151,26 @@ class Network {
   void fix_finger(ChordNode& n);
   void check_predecessor(ChordNode& n);
 
+  // Fault draws, in the fixed order duplicate → drop → delay per RPC so
+  // the stream is a pure function of (seed, RPC sequence).  Each returns
+  // false without consuming a draw when its probability is zero.
+  bool roll_duplicate() {
+    return fault_config_.duplicate > 0.0 &&
+           fault_rng_.bernoulli(fault_config_.duplicate);
+  }
+  bool roll_drop() {
+    return fault_config_.drop > 0.0 && fault_rng_.bernoulli(fault_config_.drop);
+  }
+  bool roll_delay() {
+    return fault_config_.delay > 0.0 &&
+           fault_rng_.bernoulli(fault_config_.delay);
+  }
+
   std::map<NodeId, std::unique_ptr<ChordNode>> nodes_;
   std::size_t successor_list_size_;
   MessageStats stats_;
+  FaultConfig fault_config_;
+  support::Rng fault_rng_{0};
 };
 
 }  // namespace dhtlb::chord

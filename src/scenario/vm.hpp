@@ -1,0 +1,56 @@
+// Scenario VM: deterministically executes a parsed Script against one of
+// the two substrates.
+//
+//   sim   — builds a sim::Engine and drives it through its pre-tick
+//           timeline hook: scripted events apply at the start of their
+//           tick (before churn, decisions, and consumption), and the
+//           engine keeps ticking idle past a drained job while events
+//           remain on the timeline.
+//   chord — bootstraps a chord::Network (create + join + stabilize +
+//           full fingers), then runs `ticks` rounds: events first, one
+//           maintenance round after.
+//
+// All stochastic choices scripted by the VM (which node leaves, where
+// injected keys land, lookup origins) flow through a dedicated RNG
+// stream derived from the run seed, decorrelated from the engine's own
+// stream — so (script, seed) replays byte-identically at any thread
+// count, and a scenario edit does not shift the engine's churn draws.
+//
+// The result is a fixed-order list of bench::Record telemetry rows
+// (wall_ms always 0, trials always 1): serializing them with
+// bench::to_json yields a byte-stable golden for regression testing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/telemetry.hpp"
+#include "scenario/script.hpp"
+
+namespace dhtlb::scenario {
+
+/// Telemetry produced by one scenario run.  `experiment` is
+/// "scenario_<name>"; records carry it too, so to_json(experiment,
+/// records) is the canonical serialization.
+struct ScenarioResult {
+  std::string experiment;
+  std::vector<bench::Record> records;
+};
+
+/// Runs `script` to completion under `seed` and returns its metrics.
+/// Deterministic: equal (script, seed) pairs produce equal results.
+/// `audit` forces the sim engine's per-tick InvariantAuditor on in any
+/// build flavor, so scripted mutations are vetted tick by tick (no-op
+/// for the chord substrate, whose ring-consistency check is a metric).
+/// Aborts via DHTLB_CHECK on internal invariant violations; throws
+/// only what the substrates throw (ring exhaustion, etc.).
+ScenarioResult run_scenario(const Script& script, std::uint64_t seed,
+                            bool audit = false);
+
+/// Seed precedence used by the runner and tests: an explicit CLI seed
+/// wins, then the script's `seed` header, then `fallback`
+/// (support::env_seed() in practice).
+std::uint64_t resolve_seed(const Script& script, bool cli_seed_set,
+                           std::uint64_t cli_seed, std::uint64_t fallback);
+
+}  // namespace dhtlb::scenario

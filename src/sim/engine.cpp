@@ -66,8 +66,26 @@ void Engine::churn_step() {
   }
 }
 
+void Engine::set_churn_rate(double rate) {
+  DHTLB_CHECK(rate >= 0.0 && rate <= 1.0,
+              "set_churn_rate: rate " << rate << " outside [0, 1]");
+  params_.churn_rate = rate;
+  world_.set_churn_rate(rate);
+}
+
+void Engine::set_sybil_threshold(std::uint64_t threshold) {
+  params_.sybil_threshold = threshold;
+  world_.set_sybil_threshold(threshold);
+}
+
 bool Engine::step() {
-  if (world_.remaining_tasks() == 0 || tick_ >= cap_) return false;
+  if (tick_ >= cap_) return false;
+  // Scripted timeline events apply at the start of the tick, before
+  // churn; a true return keeps a drained engine ticking (idle) toward
+  // events scheduled later.
+  bool keep_alive = false;
+  if (pre_tick_hook_) keep_alive = pre_tick_hook_(tick_ + 1);
+  if (world_.remaining_tasks() == 0 && !keep_alive) return false;
   ++tick_;
 
   churn_step();
@@ -94,6 +112,9 @@ bool Engine::step() {
     }
   }
   if (audit_enabled_) run_audit();
+  // With a timeline hook attached, a drained world is not necessarily the
+  // end — the next step() consults the hook before giving up.
+  if (pre_tick_hook_) return tick_ < cap_;
   return world_.remaining_tasks() > 0 && tick_ < cap_;
 }
 
@@ -102,9 +123,9 @@ void Engine::run_audit() const {
   // Engine-level conservation: every task is either done or still in the
   // ring, and the Sybil counters can only overstate the live population
   // (departures retire Sybils without touching the strategy counters).
-  if (completed_ + world_.remaining_tasks() != params_.total_tasks) {
+  if (completed_ + world_.remaining_tasks() != world_.total_tasks()) {
     report.failures.push_back(
-        {"conservation", "completed + remaining != total_tasks"});
+        {"conservation", "completed + remaining != tasks ever assigned"});
   }
   std::uint64_t live_sybils = 0;
   for (const NodeIndex idx : world_.alive_indices()) {
@@ -141,7 +162,7 @@ void Engine::finalize(RunResult& result) const {
   result.completed = world_.remaining_tasks() == 0;
   result.avg_work_per_tick =
       tick_ == 0 ? 0.0
-                 : static_cast<double>(params_.total_tasks -
+                 : static_cast<double>(world_.total_tasks() -
                                        world_.remaining_tasks()) /
                        static_cast<double>(tick_);
   result.joins = joins_;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -57,6 +58,34 @@ class Engine {
   /// Requests a snapshot after each listed tick (0 = initial state).
   /// Must be called before run()/step().
   void request_snapshots(std::vector<std::uint64_t> ticks);
+
+  /// Timeline hook (the scenario engine's entry point): invoked at the
+  /// start of every tick — before churn, decisions, and consumption —
+  /// with the 1-based tick number about to run.  The hook may mutate the
+  /// world (joins, departures, task injection) and the engine's
+  /// parameters.  Its return value answers "must the engine keep
+  /// ticking even though no work remains?": returning true lets a
+  /// drained engine run idle ticks (churn still applies) toward
+  /// scheduled future events; returning false restores the default
+  /// stop-when-drained behavior.  The hook is not called once the
+  /// safety cap is reached.
+  using TickHook = std::function<bool(std::uint64_t tick)>;
+  void set_pre_tick_hook(TickHook hook) { pre_tick_hook_ = std::move(hook); }
+
+  /// Hot-swaps the balancing strategy mid-run (scenario `strategy`
+  /// event).  Counters accumulate across the swap; nullptr reverts to
+  /// the paper's no-strategy baseline.
+  void set_strategy(std::unique_ptr<Strategy> strategy) {
+    strategy_ = std::move(strategy);
+  }
+
+  /// Re-parameterizes the per-tick churn probability mid-run, keeping
+  /// the world's Params copy in sync (scenario `set churn` event).
+  void set_churn_rate(double rate);
+
+  /// Re-parameterizes sybilThreshold mid-run (scenario `set threshold`
+  /// event); strategies observe it on their next decision tick.
+  void set_sybil_threshold(std::uint64_t threshold);
 
   /// Enables recording of tasks completed per tick (off by default: the
   /// series is O(runtime) memory).
@@ -111,6 +140,7 @@ class Engine {
   bool record_series_ = false;
   std::vector<std::uint64_t> series_;
   std::vector<NodeIndex> churn_scratch_;  // reused alive-set snapshot
+  TickHook pre_tick_hook_;
 };
 
 }  // namespace dhtlb::sim

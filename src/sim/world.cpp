@@ -69,6 +69,7 @@ World::World(const Params& params, support::Rng& rng)
     ++physicals_[it->second->owner].workload;
   }
   remaining_ = params_.total_tasks;
+  total_tasks_ = params_.total_tasks;
 }
 
 std::uint64_t World::work_per_tick(NodeIndex idx) const {
@@ -363,6 +364,25 @@ std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
   }
   remaining_ -= consumed;
   return consumed;
+}
+
+void World::inject_task(const Uint160& key) {
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();
+  it->second.tasks.add(key);
+  ++physicals_[it->second.owner].workload;
+  ++remaining_;
+  ++total_tasks_;
+}
+
+void World::set_churn_rate(double rate) {
+  DHTLB_CHECK(rate >= 0.0 && rate <= 1.0,
+              "set_churn_rate: rate " << rate << " outside [0, 1]");
+  params_.churn_rate = rate;
+}
+
+void World::set_sybil_threshold(std::uint64_t threshold) {
+  params_.sybil_threshold = threshold;
 }
 
 std::vector<Uint160> World::ring_ids() const {

@@ -122,6 +122,11 @@ class World {
 
   const Params& params() const { return params_; }
   std::uint64_t remaining_tasks() const { return remaining_; }
+
+  /// Tasks ever assigned to the ring: the initial job plus every task
+  /// injected mid-run (scenario workload events).  Conservation audits
+  /// compare completed + remaining against this, not Params::total_tasks.
+  std::uint64_t total_tasks() const { return total_tasks_; }
   std::size_t vnode_count() const { return ring_.size(); }
   std::size_t alive_count() const { return alive_.size(); }
   std::size_t waiting_count() const { return waiting_.size(); }
@@ -234,6 +239,22 @@ class World {
   /// first).  Returns tasks actually consumed.
   std::uint64_t consume(NodeIndex idx, std::uint64_t budget);
 
+  /// Adds one task with `key` to the vnode whose arc covers it — the
+  /// scenario engine's mid-run workload-injection primitive.  Raises
+  /// total_tasks() alongside remaining_tasks() so conservation stays
+  /// exact.
+  void inject_task(const Uint160& key);
+
+  // --- mutation: scenario re-parameterization -----------------------------
+
+  /// Changes the per-tick churn probability mid-run (must stay in
+  /// [0, 1]).  The engine mirrors this into its own Params copy.
+  void set_churn_rate(double rate);
+
+  /// Changes sybilThreshold mid-run; strategies read it through params()
+  /// on their next decision tick.
+  void set_sybil_threshold(std::uint64_t threshold);
+
   /// Runs the full InvariantAuditor (see sim/audit.hpp) and reports
   /// whether every check passed.  O(ring + tasks).  Used by tests and
   /// audit builds; prefer InvariantAuditor directly when the failure
@@ -275,6 +296,7 @@ class World {
   std::vector<NodeIndex> alive_;
   std::vector<NodeIndex> waiting_;
   std::uint64_t remaining_ = 0;
+  std::uint64_t total_tasks_ = 0;  // initial job + injected tasks
   std::uint64_t initial_capacity_ = 0;
 };
 
