@@ -1,61 +1,24 @@
 #include "harness/telemetry.hpp"
 
-#include <cinttypes>
-#include <cstdio>
 #include <fstream>
 
 #include "support/env.hpp"
+#include "support/json.hpp"
 
 namespace dhtlb::bench {
 
-namespace {
-
-// Minimal JSON string escaping: cell labels may contain slashes and
-// quotes, nothing exotic.
-void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-// %.17g round-trips every double exactly, so equal values always print
-// the same bytes.
-void append_double(std::string& out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  out += buf;
-}
-
-}  // namespace
+// The byte-format contract (escaping, %.17g doubles) lives in
+// support/json.hpp, shared with the observability writers.
+using support::json_append_double;
+using support::json_append_escaped;
+using support::json_append_u64;
 
 std::string to_json(const std::string& experiment,
                     const std::vector<Record>& records) {
   std::string out;
   out.reserve(128 + records.size() * 160);
   out += "{\n  \"schema_version\": 1,\n  \"experiment\": ";
-  append_escaped(out, experiment);
+  json_append_escaped(out, experiment);
   out += ",\n  \"records\": [";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
@@ -63,19 +26,19 @@ std::string to_json(const std::string& experiment,
     // Keys in alphabetical order: cell, experiment, metric, seed,
     // trials, value, wall_ms.
     out += "    {\"cell\": ";
-    append_escaped(out, r.cell);
+    json_append_escaped(out, r.cell);
     out += ", \"experiment\": ";
-    append_escaped(out, r.experiment);
+    json_append_escaped(out, r.experiment);
     out += ", \"metric\": ";
-    append_escaped(out, r.metric);
+    json_append_escaped(out, r.metric);
     out += ", \"seed\": ";
-    append_u64(out, r.seed);
+    json_append_u64(out, r.seed);
     out += ", \"trials\": ";
-    append_u64(out, r.trials);
+    json_append_u64(out, r.trials);
     out += ", \"value\": ";
-    append_double(out, r.value);
+    json_append_double(out, r.value);
     out += ", \"wall_ms\": ";
-    append_double(out, r.wall_ms);
+    json_append_double(out, r.wall_ms);
     out += "}";
   }
   out += records.empty() ? "]\n}\n" : "\n  ]\n}\n";

@@ -4,18 +4,29 @@
 //   dhtlb_scenario scenarios/flash_crowd.scn
 //   dhtlb_scenario scenarios/lossy_network.scn --seed 7
 //   dhtlb_scenario scenarios/mass_failure.scn --check scenarios/goldens/BENCH_scenario_mass_failure.json
+//   dhtlb_scenario scenarios/flash_crowd.scn --trace=t.json --metrics=m.jsonl
 //
 // The JSON output (BENCH_scenario_<name>.json, honoring DHTLB_BENCH_DIR
 // and DHTLB_BENCH_JSON=0) is byte-stable for a fixed (file, seed) pair
 // at any DHTLB_THREADS setting; --check compares it against a committed
 // golden and exits nonzero on any byte difference, which is how CI
 // regression-tests the scenario engine.
+//
+// --trace writes a Chrome trace_event JSON (open in chrome://tracing);
+// --metrics writes per-tick metrics JSONL.  Both are deterministic for a
+// fixed (file, seed) and byte-identical at any DHTLB_THREADS; both
+// override the script's `trace`/`metrics` header keys, and observation
+// never changes the telemetry (see OBSERVABILITY.md).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/script.hpp"
 #include "scenario/vm.hpp"
 #include "support/cli.hpp"
@@ -41,6 +52,12 @@ int main(int argc, char** argv) {
   cli.add_flag("check", "FILE", "",
                "compare the telemetry JSON against a golden file and exit "
                "nonzero on any byte difference (implies no file output)");
+  cli.add_flag("trace", "FILE", "",
+               "write a Chrome trace_event JSON of the run (overrides the "
+               "script's `trace` header)");
+  cli.add_flag("metrics", "FILE", "",
+               "write per-tick metrics JSONL (overrides the script's "
+               "`metrics` header)");
   cli.add_flag("quiet", "", "", "suppress the metric table on stdout");
   cli.add_flag("help", "", "", "show this help");
 
@@ -66,14 +83,47 @@ int main(int argc, char** argv) {
       script, cli.has("seed"), cli.has("seed") ? cli.get_u64("seed") : 0,
       support::env_seed());
 
+  // Observability sinks: CLI flag first, then the script header key.
+  const std::string trace_path =
+      cli.has("trace") ? cli.get("trace") : script.trace_path;
+  const std::string metrics_path =
+      cli.has("metrics") ? cli.get("metrics") : script.metrics_path;
+  std::ofstream trace_file;
+  std::ofstream metrics_file;
+  std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path, std::ios::binary | std::ios::trunc);
+    if (!trace_file) return fail("cannot write trace file: " + trace_path);
+    trace = std::make_unique<obs::TraceSink>(trace_file);
+  }
+  if (!metrics_path.empty()) {
+    metrics_file.open(metrics_path, std::ios::binary | std::ios::trunc);
+    if (!metrics_file) {
+      return fail("cannot write metrics file: " + metrics_path);
+    }
+    metrics = std::make_unique<obs::MetricsRegistry>(metrics_file);
+  }
+  const scenario::ObsSinks sinks{trace.get(), metrics.get()};
+
   const scenario::ScenarioResult result =
-      scenario::run_scenario(script, seed, cli.get_bool("audit"));
+      scenario::run_scenario(script, seed, cli.get_bool("audit"), sinks);
+  if (trace) trace->close();
+  if (metrics) metrics->flush();
   const std::string json = bench::to_json(result.experiment, result.records);
 
   if (!cli.get_bool("quiet")) {
     std::cout << result.experiment << " (seed " << seed << ")\n";
     for (const bench::Record& rec : result.records) {
       std::printf("  %-28s %.17g\n", rec.metric.c_str(), rec.value);
+    }
+    if (trace) {
+      std::cout << "wrote trace " << trace_path << " (" << trace->event_count()
+                << " events; open in chrome://tracing)\n";
+    }
+    if (metrics) {
+      std::cout << "wrote metrics " << metrics_path << " ("
+                << metrics->rows_written() << " rows)\n";
     }
   }
 

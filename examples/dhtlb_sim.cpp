@@ -9,17 +9,72 @@
 //             --snapshots 0,5,35 --csv results/invite   (one line)
 //   dhtlb_sim --list-strategies
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "lb/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/script.hpp"
 #include "scenario/vm.hpp"
+#include "sim/engine.hpp"
 #include "support/cli.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
+
+namespace {
+
+/// Open observability sinks from --trace/--metrics.  Returns false (with
+/// a message on stderr) when a file cannot be created.
+struct CliSinks {
+  std::ofstream trace_file;
+  std::ofstream metrics_file;
+  std::unique_ptr<dhtlb::obs::TraceSink> trace;
+  std::unique_ptr<dhtlb::obs::MetricsRegistry> metrics;
+
+  bool open(const std::string& trace_path, const std::string& metrics_path) {
+    if (!trace_path.empty()) {
+      trace_file.open(trace_path, std::ios::binary | std::ios::trunc);
+      if (!trace_file) {
+        std::fprintf(stderr, "error: cannot write trace file %s\n",
+                     trace_path.c_str());
+        return false;
+      }
+      trace = std::make_unique<dhtlb::obs::TraceSink>(trace_file);
+    }
+    if (!metrics_path.empty()) {
+      metrics_file.open(metrics_path, std::ios::binary | std::ios::trunc);
+      if (!metrics_file) {
+        std::fprintf(stderr, "error: cannot write metrics file %s\n",
+                     metrics_path.c_str());
+        return false;
+      }
+      metrics = std::make_unique<dhtlb::obs::MetricsRegistry>(metrics_file);
+    }
+    return true;
+  }
+
+  void finish(const std::string& trace_path,
+              const std::string& metrics_path) {
+    if (trace) {
+      trace->close();
+      std::printf("wrote trace %s (%llu events; open in chrome://tracing)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(trace->event_count()));
+    }
+    if (metrics) {
+      metrics->flush();
+      std::printf("wrote metrics %s (%llu rows)\n", metrics_path.c_str(),
+                  static_cast<unsigned long long>(metrics->rows_written()));
+    }
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dhtlb;
@@ -47,6 +102,13 @@ int main(int argc, char** argv) {
   cli.add_flag("scenario", "file", "",
                "run a .scn scenario script instead of a single config "
                "(honors --seed; other flags come from the script)");
+  cli.add_flag("trace", "file", "",
+               "write a Chrome trace_event JSON (scenario runs trace "
+               "directly; plain configs trace one extra trial at the "
+               "base seed)");
+  cli.add_flag("metrics", "file", "",
+               "write per-tick metrics JSONL (same run selection as "
+               "--trace)");
   cli.add_flag("list-strategies", "", "", "print strategy names and exit");
   cli.add_flag("help", "", "", "show this help");
 
@@ -79,7 +141,15 @@ int main(int argc, char** argv) {
       const std::uint64_t seed = scenario::resolve_seed(
           script, cli.has("seed"),
           cli.has("seed") ? cli.get_u64("seed") : 0, support::env_seed());
-      const auto result = scenario::run_scenario(script, seed);
+      const std::string trace_path =
+          cli.has("trace") ? cli.get("trace") : script.trace_path;
+      const std::string metrics_path =
+          cli.has("metrics") ? cli.get("metrics") : script.metrics_path;
+      CliSinks sinks;
+      if (!sinks.open(trace_path, metrics_path)) return 1;
+      const auto result = scenario::run_scenario(
+          script, seed, false,
+          {sinks.trace.get(), sinks.metrics.get()});
       std::printf("%s (seed %llu)\n", result.experiment.c_str(),
                   static_cast<unsigned long long>(seed));
       support::TextTable table({"metric", "value"});
@@ -87,6 +157,7 @@ int main(int argc, char** argv) {
         table.add_row({rec.metric, support::format_fixed(rec.value, 3)});
       }
       std::printf("%s", table.render().c_str());
+      sinks.finish(trace_path, metrics_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
@@ -128,6 +199,20 @@ int main(int argc, char** argv) {
   support::ThreadPool pool(support::env_threads());
   const exp::Aggregate agg =
       exp::run_trials(params, strategy, trials, seed, &pool);
+
+  // Observability for plain configs: one dedicated single trial at the
+  // base seed, instrumented.  Kept separate from the aggregate trials so
+  // multi-threaded trial scheduling cannot interleave sink writes — the
+  // output stays byte-deterministic at any DHTLB_THREADS.
+  if (cli.has("trace") || cli.has("metrics")) {
+    CliSinks sinks;
+    if (!sinks.open(cli.get("trace"), cli.get("metrics"))) return 1;
+    sim::Engine engine(params, seed, lb::make_strategy(strategy));
+    engine.set_trace(sinks.trace.get());
+    engine.set_metrics(sinks.metrics.get());
+    (void)engine.run();
+    sinks.finish(cli.get("trace"), cli.get("metrics"));
+  }
 
   support::TextTable table({"metric", "value"});
   table.add_row({"runtime factor (mean)",

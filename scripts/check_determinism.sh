@@ -95,6 +95,37 @@ else
   echo "check_determinism: note — $SCN_BIN not built, skipping scenario JSON check"
 fi
 
+# Observability determinism: trace + metrics files from the same
+# scenario must byte-compare across DHTLB_THREADS=1 vs 4, and attaching
+# the sinks must not change the telemetry JSON (observation invariance).
+if [[ -x "$SCN_BIN" && -f "$SCN_FILE" ]]; then
+  mkdir -p "$workdir/obs1" "$workdir/obs4"
+  echo "check_determinism: trace/metrics (1 thread)"
+  DHTLB_THREADS=1 DHTLB_BENCH_DIR="$workdir/obs1" "$SCN_BIN" "$SCN_FILE" \
+    --trace="$workdir/obs1/trace.json" \
+    --metrics="$workdir/obs1/metrics.jsonl" --quiet > /dev/null
+  echo "check_determinism: trace/metrics (4 threads)"
+  DHTLB_THREADS=4 DHTLB_BENCH_DIR="$workdir/obs4" "$SCN_BIN" "$SCN_FILE" \
+    --trace="$workdir/obs4/trace.json" \
+    --metrics="$workdir/obs4/metrics.jsonl" --quiet > /dev/null
+  for artifact in trace.json metrics.jsonl; do
+    if ! cmp -s "$workdir/obs1/$artifact" "$workdir/obs4/$artifact"; then
+      echo "check_determinism: FAIL — $artifact depends on thread count" >&2
+      diff -u "$workdir/obs1/$artifact" "$workdir/obs4/$artifact" >&2 || true
+      fail=1
+    fi
+  done
+  if ! cmp -s "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
+              "$workdir/obs1/BENCH_scenario_flash_crowd.json"; then
+    echo "check_determinism: FAIL — attaching sinks changed the telemetry" >&2
+    diff -u "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
+            "$workdir/obs1/BENCH_scenario_flash_crowd.json" >&2 || true
+    fail=1
+  fi
+else
+  echo "check_determinism: note — $SCN_BIN not built, skipping trace/metrics check"
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

@@ -112,6 +112,11 @@ LookupResult Network::lookup(NodeId from, const NodeId& key) {
 }
 
 void Network::maintenance_round() {
+  // Start of round: deliver notifies whose replies were delayed in
+  // earlier rounds, in (round, seq) send order.
+  ++round_;
+  delayed_seq_ = 0;
+  if (!delayed_.empty()) deliver_delayed();
   // Snapshot IDs first: stabilization never adds nodes, but forget()/
   // pruning may not invalidate our iteration this way.
   const std::vector<NodeId> ids = node_ids();
@@ -170,6 +175,21 @@ void Network::set_faults(const FaultConfig& config) {
   fault_config_ = config;
 }
 
+void Network::trace_rpc(const char* kind, const NodeId& callee) {
+  if (trace_) {
+    trace_->instant("rpc", "rpc",
+                    {{"kind", kind}, {"callee", callee.to_short_hex()}});
+  }
+}
+
+void Network::trace_fault(const char* what, const char* kind,
+                          const NodeId& callee) {
+  if (trace_) {
+    trace_->instant(what, "fault",
+                    {{"kind", kind}, {"callee", callee.to_short_hex()}});
+  }
+}
+
 ChordNode* Network::find_alive(const NodeId& id) {
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();
@@ -182,58 +202,139 @@ const ChordNode* Network::find_alive(const NodeId& id) const {
 
 std::optional<NodeId> Network::rpc_get_successor(const NodeId& callee) {
   ++stats_.get_successor_list;
-  if (roll_duplicate()) ++stats_.get_successor_list;
-  if (roll_drop()) return std::nullopt;
+  trace_rpc("get_successor", callee);
+  if (roll_duplicate()) {
+    ++stats_.get_successor_list;
+    trace_fault("rpc_dup", "get_successor", callee);
+  }
+  if (roll_drop()) {
+    trace_fault("rpc_drop", "get_successor", callee);
+    return std::nullopt;
+  }
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
-  if (roll_delay()) return std::nullopt;
+  if (roll_delay()) {
+    trace_fault("rpc_delay", "get_successor", callee);
+    return std::nullopt;
+  }
   return n->successor();
 }
 
 std::optional<std::optional<NodeId>> Network::rpc_get_predecessor(
     const NodeId& callee) {
   ++stats_.get_predecessor;
-  if (roll_duplicate()) ++stats_.get_predecessor;
-  if (roll_drop()) return std::nullopt;
+  trace_rpc("get_predecessor", callee);
+  if (roll_duplicate()) {
+    ++stats_.get_predecessor;
+    trace_fault("rpc_dup", "get_predecessor", callee);
+  }
+  if (roll_drop()) {
+    trace_fault("rpc_drop", "get_predecessor", callee);
+    return std::nullopt;
+  }
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
-  if (roll_delay()) return std::nullopt;
+  if (roll_delay()) {
+    trace_fault("rpc_delay", "get_predecessor", callee);
+    return std::nullopt;
+  }
   return n->predecessor();
 }
 
 std::optional<std::vector<NodeId>> Network::rpc_get_successor_list(
     const NodeId& callee) {
   ++stats_.get_successor_list;
-  if (roll_duplicate()) ++stats_.get_successor_list;
-  if (roll_drop()) return std::nullopt;
+  trace_rpc("get_successor_list", callee);
+  if (roll_duplicate()) {
+    ++stats_.get_successor_list;
+    trace_fault("rpc_dup", "get_successor_list", callee);
+  }
+  if (roll_drop()) {
+    trace_fault("rpc_drop", "get_successor_list", callee);
+    return std::nullopt;
+  }
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
-  if (roll_delay()) return std::nullopt;
+  if (roll_delay()) {
+    trace_fault("rpc_delay", "get_successor_list", callee);
+    return std::nullopt;
+  }
   return n->successor_list();
+}
+
+void Network::apply_notify(ChordNode& n, const NodeId& candidate) {
+  const auto& pred = n.predecessor();
+  if (!pred || in_open_arc(candidate, *pred, n.id()) ||
+      find_alive(*pred) == nullptr) {
+    n.set_predecessor(candidate);
+  }
+}
+
+void Network::deliver_delayed() {
+  // Entries are appended in (round, seq) order, so the queue is already
+  // sorted; everything from a round before the current one is due.
+  std::size_t delivered = 0;
+  while (delivered < delayed_.size() &&
+         delayed_[delivered].round < round_) {
+    const DelayedNotify& d = delayed_[delivered];
+    ++delivered;
+    ChordNode* n = find_alive(d.callee);
+    if (n == nullptr) continue;  // callee died while the message aged
+    apply_notify(*n, d.candidate);
+    if (trace_) {
+      trace_->instant("notify_delivered", "fault",
+                      {{"callee", d.callee.to_short_hex()},
+                       {"candidate", d.candidate.to_short_hex()},
+                       {"sent_round", d.round}});
+    }
+  }
+  delayed_.erase(delayed_.begin(),
+                 delayed_.begin() + static_cast<std::ptrdiff_t>(delivered));
 }
 
 bool Network::rpc_notify(const NodeId& callee, const NodeId& candidate) {
   ++stats_.notify;
-  if (roll_duplicate()) ++stats_.notify;
-  // A dropped notify never reaches the callee; a delayed one takes
-  // effect but the caller cannot observe the ack in time.
-  if (roll_drop()) return false;
+  trace_rpc("notify", callee);
+  if (roll_duplicate()) {
+    ++stats_.notify;
+    trace_fault("rpc_dup", "notify", callee);
+  }
+  // A dropped notify never reaches the callee.  A delayed one DOES take
+  // effect, but late: the caller cannot observe the ack in time, and the
+  // predecessor update lands at the start of the next maintenance round
+  // via the deterministic delayed-delivery queue.
+  if (roll_drop()) {
+    trace_fault("rpc_drop", "notify", callee);
+    return false;
+  }
   ChordNode* n = find_alive(callee);
   if (n == nullptr) return false;
-  const auto& pred = n->predecessor();
-  if (!pred || in_open_arc(candidate, *pred, n->id()) ||
-      find_alive(*pred) == nullptr) {
-    n->set_predecessor(candidate);
+  if (roll_delay()) {
+    delayed_.push_back({round_, delayed_seq_++, callee, candidate});
+    trace_fault("rpc_delay", "notify", callee);
+    return false;
   }
-  return !roll_delay();
+  apply_notify(*n, candidate);
+  return true;
 }
 
 bool Network::rpc_ping(const NodeId& callee) {
   ++stats_.ping;
-  if (roll_duplicate()) ++stats_.ping;
+  trace_rpc("ping", callee);
+  if (roll_duplicate()) {
+    ++stats_.ping;
+    trace_fault("rpc_dup", "ping", callee);
+  }
   // A dropped request and a delayed reply are indistinguishable to the
   // pinger: both read as "no answer" and may wrongly condemn a live node.
-  if (roll_drop() || roll_delay()) return false;
+  if (roll_drop()) {
+    trace_fault("rpc_drop", "ping", callee);
+    return false;
+  }
+  if (roll_delay()) {
+    trace_fault("rpc_delay", "ping", callee);
+    return false;
+  }
   return find_alive(callee) != nullptr;
 }
 
@@ -241,7 +342,15 @@ std::optional<NodeId> Network::rpc_closest_preceding(const NodeId& callee,
                                                      const NodeId& key) {
   // No counter bump here (lookup() accounts the routing step), but the
   // wire can still lose the exchange.
-  if (roll_drop() || roll_delay()) return std::nullopt;
+  trace_rpc("closest_preceding", callee);
+  if (roll_drop()) {
+    trace_fault("rpc_drop", "closest_preceding", callee);
+    return std::nullopt;
+  }
+  if (roll_delay()) {
+    trace_fault("rpc_delay", "closest_preceding", callee);
+    return std::nullopt;
+  }
   const ChordNode* n = find_alive(callee);
   if (n == nullptr) return std::nullopt;
   // Skip over entries we can locally see are dead — models the callee

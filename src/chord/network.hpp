@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chord/node.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "support/uint160.hpp"
 
@@ -45,9 +46,12 @@ struct LookupResult {
 /// three independent seeded Bernoulli draws:
 ///   drop      — the request is lost before reaching the callee (no
 ///               side effect; the caller sees a timeout)
-///   delay     — the reply arrives too late to use: the request DID take
-///               effect at the callee (notify still updates state) but
-///               the caller treats the RPC as failed
+///   delay     — the reply arrives too late to use: the caller treats
+///               the RPC as failed.  For read-style RPCs that simply
+///               loses the answer; a delayed notify's side effect is
+///               deferred — it lands at the callee at the start of the
+///               next maintenance round, in the deterministic order the
+///               delayed messages were sent (tick, then sequence)
 ///   duplicate — the message is delivered twice; the extra copy costs
 ///               one more counted message and is otherwise harmless
 /// All probabilities default to 0: no RNG draw happens and behavior is
@@ -117,6 +121,30 @@ class Network {
 
   const FaultConfig& faults() const { return fault_config_; }
 
+  /// A delayed notify awaiting delivery: enqueued when the delay fault
+  /// fires, applied at the start of the next maintenance round in
+  /// (round, seq) order — a total order independent of container
+  /// iteration, so traces and goldens are stable.
+  struct DelayedNotify {
+    std::uint64_t round = 0;  // maintenance round it was sent in
+    std::uint64_t seq = 0;    // send order within that round
+    NodeId callee;
+    NodeId candidate;
+  };
+
+  /// In-flight delayed notifies, oldest first (tests and debugging).
+  const std::vector<DelayedNotify>& delayed_messages() const {
+    return delayed_;
+  }
+
+  // --- observability -------------------------------------------------------
+
+  /// Attaches a trace sink (nullable; null detaches).  The network then
+  /// emits one instant per RPC plus fault instants (drop/delay/dup and
+  /// deferred-notify delivery); the driver owns the sink and its tick
+  /// clock.  Disabled cost: one branch per RPC.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
   // --- inspection ---------------------------------------------------------
 
   const ChordNode& node(NodeId id) const { return *nodes_.at(id); }
@@ -151,6 +179,16 @@ class Network {
   void fix_finger(ChordNode& n);
   void check_predecessor(ChordNode& n);
 
+  /// The notify predecessor rule, shared by the immediate path and the
+  /// deferred (delayed) delivery path.
+  void apply_notify(ChordNode& n, const NodeId& candidate);
+
+  /// Delivers every queued delayed notify from earlier rounds.
+  void deliver_delayed();
+
+  void trace_rpc(const char* kind, const NodeId& callee);
+  void trace_fault(const char* what, const char* kind, const NodeId& callee);
+
   // Fault draws, in the fixed order duplicate → drop → delay per RPC so
   // the stream is a pure function of (seed, RPC sequence).  Each returns
   // false without consuming a draw when its probability is zero.
@@ -171,6 +209,10 @@ class Network {
   MessageStats stats_;
   FaultConfig fault_config_;
   support::Rng fault_rng_{0};
+  std::uint64_t round_ = 0;        // maintenance rounds completed/started
+  std::uint64_t delayed_seq_ = 0;  // send order within the current round
+  std::vector<DelayedNotify> delayed_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace dhtlb::chord

@@ -1,0 +1,96 @@
+// Metrics registry: named counters, gauges, and histograms sampled once
+// per simulation tick into a flat time-series JSONL stream.
+//
+// One line per instrument per sample (histograms: one line per bucket
+// plus a _sum line), keys in alphabetical order, doubles as %.17g —
+// the same byte-stability conventions as bench::to_json, so equal runs
+// produce byte-equal files at any DHTLB_THREADS setting:
+//
+//   {"metric":"ring_gini","tick":12,"type":"gauge","unit":"ratio","value":0.25}
+//   {"le":16,"metric":"workload","tick":12,"type":"histogram","unit":"tasks","value":37}
+//
+// Instrument semantics per sample(tick):
+//   counter   — cumulative since the run started (monotone)
+//   gauge     — last value set this tick
+//   histogram — distribution of the observations made *this tick*
+//               (reset after each sample); bucket rows are cumulative
+//               in `le` (Prometheus-style), topped by le "+inf"
+//
+// Like TraceSink, the registry is only ever touched behind a null-
+// pointer branch at the producer, so a run without --metrics pays one
+// predictable branch per tick and allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhtlb::obs {
+
+class MetricsRegistry {
+ public:
+  using Id = std::size_t;
+
+  /// Streams rows to `out` (non-owning), buffering and flushing every
+  /// `flush_every_samples` calls to sample() — "periodic flush" without
+  /// per-row syscalls.  Content is identical at any cadence.
+  explicit MetricsRegistry(std::ostream& out,
+                           std::size_t flush_every_samples = 32);
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration is idempotent: re-registering a name returns the
+  /// existing instrument (the kind and unit must match — a mismatch is
+  /// a contract violation).
+  Id counter(std::string_view name, std::string_view unit);
+  Id gauge(std::string_view name, std::string_view unit);
+  /// `bounds` are the inclusive upper bucket edges, strictly
+  /// increasing; a final +inf bucket is implicit.
+  Id histogram(std::string_view name, std::string_view unit,
+               std::vector<double> bounds);
+
+  void add(Id id, double delta);      // counters
+  void set(Id id, double value);      // gauges
+  void observe(Id id, double value);  // histograms
+
+  /// Emits one row per instrument for `tick` (instruments in name
+  /// order), then resets histograms.
+  void sample(std::uint64_t tick);
+
+  /// Writes buffered rows through to the stream.
+  void flush();
+
+  std::size_t instrument_count() const { return instruments_.size(); }
+  std::uint64_t rows_written() const { return rows_; }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    std::string name;
+    std::string unit;
+    Kind kind = Kind::kGauge;
+    double value = 0.0;               // counter total / gauge value
+    std::vector<double> bounds;       // histogram bucket edges
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (+inf)
+    double sum = 0.0;                 // histogram per-tick sum
+  };
+
+  Id intern(std::string_view name, std::string_view unit, Kind kind);
+  void emit_row(const Instrument& inst, std::uint64_t tick);
+
+  std::ostream& out_;
+  std::size_t flush_every_;
+  std::size_t samples_since_flush_ = 0;
+  std::vector<Instrument> instruments_;
+  std::vector<Id> by_name_;  // instrument ids sorted by name
+  std::string buffer_;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace dhtlb::obs

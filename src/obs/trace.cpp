@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include "support/json.hpp"
+
+namespace dhtlb::obs {
+
+namespace {
+
+// µs per tick: one virtual second, so per-tick sequence numbers can
+// never spill into the next tick's timestamp range.
+constexpr std::uint64_t kTickUs = 1'000'000;
+
+}  // namespace
+
+void ArgValue::append_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kU64: support::json_append_u64(out, u64_); break;
+    case Kind::kF64: support::json_append_double(out, f64_); break;
+    case Kind::kStr: support::json_append_escaped(out, str_); break;
+  }
+}
+
+TraceSink::TraceSink(std::ostream& out) : out_(out) {
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+TraceSink::~TraceSink() { close(); }
+
+void TraceSink::set_tick(std::uint64_t tick) {
+  tick_ = tick;
+  seq_ = 0;
+}
+
+void TraceSink::begin_event(std::string_view name, std::string_view category,
+                            char phase, std::uint64_t ts) {
+  line_.clear();
+  line_ += events_ == 0 ? "\n" : ",\n";
+  line_ += "{\"name\":";
+  support::json_append_escaped(line_, name);
+  line_ += ",\"cat\":";
+  support::json_append_escaped(line_, category);
+  line_ += ",\"ph\":\"";
+  line_ += phase;
+  line_ += "\",\"ts\":";
+  support::json_append_u64(line_, ts);
+}
+
+void TraceSink::append_args(std::initializer_list<Arg> args) {
+  line_ += ",\"args\":{";
+  bool first = true;
+  for (const Arg& arg : args) {
+    if (!first) line_ += ',';
+    first = false;
+    support::json_append_escaped(line_, arg.first);
+    line_ += ':';
+    arg.second.append_to(line_);
+  }
+  line_ += '}';
+}
+
+void TraceSink::end_event() {
+  line_ += ",\"pid\":1,\"tid\":1}";
+  out_ << line_;
+  ++events_;
+}
+
+void TraceSink::instant(std::string_view name, std::string_view category,
+                        std::initializer_list<Arg> args) {
+  if (closed_) return;
+  begin_event(name, category, 'i', tick_ * kTickUs + seq_);
+  ++seq_;
+  line_ += ",\"s\":\"g\"";  // instant scope: global (full-height line)
+  append_args(args);
+  end_event();
+}
+
+void TraceSink::complete_tick(std::string_view name,
+                              std::initializer_list<Arg> args) {
+  if (closed_) return;
+  begin_event(name, "tick", 'X', tick_ * kTickUs);
+  line_ += ",\"dur\":";
+  support::json_append_u64(line_, kTickUs);
+  append_args(args);
+  end_event();
+}
+
+void TraceSink::counter(std::string_view name, double value) {
+  if (closed_) return;
+  begin_event(name, "metric", 'C', tick_ * kTickUs + seq_);
+  ++seq_;
+  line_ += ",\"args\":{\"value\":";
+  support::json_append_double(line_, value);
+  line_ += '}';
+  end_event();
+}
+
+void TraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_ << (events_ == 0 ? "]}\n" : "\n]}\n");
+  out_.flush();
+}
+
+}  // namespace dhtlb::obs

@@ -298,6 +298,12 @@ Script Script::parse(std::string_view text, std::string_view filename) {
     } else if (head == "ticks") {
       cur.expect_tokens(tokens, 2, "ticks <horizon>");
       script.horizon = cur.parse_u64(tokens[1], "tick horizon");
+    } else if (head == "trace") {
+      cur.expect_tokens(tokens, 2, "trace <file>");
+      script.trace_path = tokens[1];
+    } else if (head == "metrics") {
+      cur.expect_tokens(tokens, 2, "metrics <file>");
+      script.metrics_path = tokens[1];
     } else if (head == "nodes") {
       cur.expect_tokens(tokens, 2, "nodes <count>");
       script.params.initial_nodes = cur.parse_u64(tokens[1], "node count");

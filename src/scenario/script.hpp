@@ -26,6 +26,10 @@
 // increasing tick order.  `#` starts a comment; blank lines are ignored.
 // Every diagnostic is file:line-prefixed — see ParseError.
 //
+// Optional observability headers (both substrates): `trace <file>` and
+// `metrics <file>` name default output paths for the Chrome trace and
+// the per-tick metrics JSONL; runner --trace/--metrics flags override.
+//
 // Two substrates share the format:
 //   substrate sim    (default) — drives sim::Engine through its timeline
 //                    hook; events: join/leave/crash, inject-uniform,
@@ -115,6 +119,12 @@ struct Script {
   /// Default seed from the `seed` header; callers may override.
   std::uint64_t seed = 0;
   bool seed_set = false;
+
+  /// Observability outputs from the `trace` / `metrics` header keys:
+  /// default file paths for the Chrome trace and the metrics JSONL.
+  /// Empty = disabled.  Runner `--trace` / `--metrics` flags override.
+  std::string trace_path;
+  std::string metrics_path;
 
   std::vector<Block> blocks;
 

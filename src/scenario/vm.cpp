@@ -6,6 +6,8 @@
 #include "chord/network.hpp"
 #include "hashing/sha1.hpp"
 #include "lb/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -53,6 +55,30 @@ std::optional<Uint160> arc_width(double fraction) {
   auto scale = static_cast<std::uint32_t>(scaled);
   if (scale == 0) scale = 1;  // parser guarantees fraction > 0
   return Uint160::max().shr(32).mul_small(scale);
+}
+
+/// Trace label for a scripted event's instant.
+const char* scripted_name(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::kJoin: return "scripted_join";
+    case Event::Kind::kLeave: return "scripted_leave";
+    case Event::Kind::kCrash: return "scripted_crash";
+    case Event::Kind::kInjectUniform: return "inject_uniform";
+    case Event::Kind::kInjectHotspot: return "inject_hotspot";
+    case Event::Kind::kSetChurn: return "set_churn";
+    case Event::Kind::kSetThreshold: return "set_threshold";
+    case Event::Kind::kSetStrategy: return "set_strategy";
+    case Event::Kind::kFault: return "set_fault";
+    case Event::Kind::kLookup: return "scripted_lookup";
+  }
+  return "scripted_event";
+}
+
+/// One instant per scripted event, emitted as the event applies so it
+/// lands on the tick it mutates.
+void trace_scripted(obs::TraceSink& trace, const Event& e) {
+  trace.instant(scripted_name(e.kind), "scenario",
+                {{"count", e.count}, {"value", e.value}, {"text", e.text}});
 }
 
 void push(ScenarioResult& out, const std::string& cell,
@@ -133,12 +159,14 @@ void apply_sim_event(const Event& e, sim::Engine& engine, Rng& rng,
 }
 
 ScenarioResult run_sim(const Script& script, std::uint64_t seed,
-                       bool audit) {
+                       bool audit, const ObsSinks& sinks) {
   sim::Params params = script.params;
   if (script.horizon > 0) params.max_ticks = script.horizon;
 
   sim::Engine engine(params, seed, lb::make_strategy(script.strategy));
   if (audit) engine.set_audit(true);
+  engine.set_trace(sinks.trace);
+  engine.set_metrics(sinks.metrics);
   Rng vm_rng(support::mix_seed(seed, kVmStream));
   SimCounters counters;
 
@@ -147,6 +175,9 @@ ScenarioResult run_sim(const Script& script, std::uint64_t seed,
     for (const Block& b : script.blocks) {
       if (!fires(b, tick)) continue;
       for (const Event& e : b.events) {
+        // The engine advanced the trace clock to `tick` before calling
+        // this hook, so the instant lands on the right tick.
+        if (sinks.trace) trace_scripted(*sinks.trace, e);
         apply_sim_event(e, engine, vm_rng, counters);
       }
       applied = true;
@@ -265,7 +296,41 @@ void apply_chord_event(const Event& e, chord::Network& net, Rng& rng,
   }
 }
 
-ScenarioResult run_chord(const Script& script, std::uint64_t seed) {
+/// Chord-side instruments, registered once per run; the VM is the
+/// maintenance-loop driver, so it also owns per-tick sampling.
+struct ChordInstruments {
+  obs::MetricsRegistry::Id nodes = 0;
+  obs::MetricsRegistry::Id ring_consistent = 0;
+  obs::MetricsRegistry::Id delayed_pending = 0;
+  obs::MetricsRegistry::Id msgs_total = 0;
+  obs::MetricsRegistry::Id msgs_find_successor = 0;
+  obs::MetricsRegistry::Id msgs_get_predecessor = 0;
+  obs::MetricsRegistry::Id msgs_get_successor_list = 0;
+  obs::MetricsRegistry::Id msgs_notify = 0;
+  obs::MetricsRegistry::Id msgs_ping = 0;
+  obs::MetricsRegistry::Id lookups = 0;
+  obs::MetricsRegistry::Id lookup_hops = 0;
+
+  static ChordInstruments register_on(obs::MetricsRegistry& m) {
+    ChordInstruments ids;
+    ids.nodes = m.gauge("nodes", "nodes");
+    ids.ring_consistent = m.gauge("ring_consistent", "bool");
+    ids.delayed_pending = m.gauge("delayed_pending", "messages");
+    ids.msgs_total = m.counter("msgs_total", "messages");
+    ids.msgs_find_successor = m.counter("msgs_find_successor", "messages");
+    ids.msgs_get_predecessor = m.counter("msgs_get_predecessor", "messages");
+    ids.msgs_get_successor_list =
+        m.counter("msgs_get_successor_list", "messages");
+    ids.msgs_notify = m.counter("msgs_notify", "messages");
+    ids.msgs_ping = m.counter("msgs_ping", "messages");
+    ids.lookups = m.counter("lookups", "lookups");
+    ids.lookup_hops = m.counter("lookup_hops", "hops");
+    return ids;
+  }
+};
+
+ScenarioResult run_chord(const Script& script, std::uint64_t seed,
+                         const ObsSinks& sinks) {
   chord::Network net(script.params.num_successors);
   Rng vm_rng(support::mix_seed(seed, kVmStream));
 
@@ -286,21 +351,65 @@ ScenarioResult run_chord(const Script& script, std::uint64_t seed) {
   DHTLB_CHECK(net.ring_consistent(),
               "scenario: chord bootstrap left an inconsistent ring");
 
-  // Measurement starts here: bootstrap traffic is construction noise.
+  // Measurement starts here: bootstrap traffic is construction noise
+  // and deliberately excluded from both telemetry and traces.
   net.stats().reset();
   net.set_fault_seed(support::mix_seed(seed, kVmStream + 1));
+  net.set_trace(sinks.trace);
+  ChordInstruments ids;
+  if (sinks.metrics) ids = ChordInstruments::register_on(*sinks.metrics);
+  chord::MessageStats prev_stats;
+  ChordCounters prev_counters;
 
   ChordCounters counters;
   chord::FaultConfig faults;
   for (std::uint64_t tick = 1; tick <= script.horizon; ++tick) {
+    if (sinks.trace) sinks.trace->set_tick(tick);
     for (const Block& b : script.blocks) {
       if (!fires(b, tick)) continue;
       for (const Event& e : b.events) {
+        if (sinks.trace) trace_scripted(*sinks.trace, e);
         apply_chord_event(e, net, vm_rng, next_id, counters, faults);
       }
     }
     net.maintenance_round();
+    if (sinks.metrics || sinks.trace) {
+      const chord::MessageStats& s = net.stats();
+      auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+      if (sinks.metrics) {
+        obs::MetricsRegistry& m = *sinks.metrics;
+        m.set(ids.nodes, d(net.size()));
+        m.set(ids.ring_consistent, net.ring_consistent() ? 1.0 : 0.0);
+        m.set(ids.delayed_pending, d(net.delayed_messages().size()));
+        m.add(ids.msgs_total, d(s.total() - prev_stats.total()));
+        m.add(ids.msgs_find_successor,
+              d(s.find_successor - prev_stats.find_successor));
+        m.add(ids.msgs_get_predecessor,
+              d(s.get_predecessor - prev_stats.get_predecessor));
+        m.add(ids.msgs_get_successor_list,
+              d(s.get_successor_list - prev_stats.get_successor_list));
+        m.add(ids.msgs_notify, d(s.notify - prev_stats.notify));
+        m.add(ids.msgs_ping, d(s.ping - prev_stats.ping));
+        m.add(ids.lookups, d(counters.lookups - prev_counters.lookups));
+        m.add(ids.lookup_hops,
+              d(counters.lookup_hops - prev_counters.lookup_hops));
+        m.sample(tick);
+      }
+      if (sinks.trace) {
+        sinks.trace->counter("nodes", d(net.size()));
+        sinks.trace->counter("msgs_per_tick",
+                             d(s.total() - prev_stats.total()));
+        sinks.trace->counter("delayed_pending",
+                             d(net.delayed_messages().size()));
+        sinks.trace->complete_tick(
+            "tick", {{"msgs", s.total() - prev_stats.total()},
+                     {"nodes", net.size()}});
+      }
+      prev_stats = s;
+      prev_counters = counters;
+    }
   }
+  net.set_trace(nullptr);
 
   ScenarioResult out;
   out.experiment = "scenario_" + script.name;
@@ -335,9 +444,10 @@ ScenarioResult run_chord(const Script& script, std::uint64_t seed) {
 }  // namespace
 
 ScenarioResult run_scenario(const Script& script, std::uint64_t seed,
-                            bool audit) {
-  return script.substrate == Substrate::kSim ? run_sim(script, seed, audit)
-                                             : run_chord(script, seed);
+                            bool audit, const ObsSinks& sinks) {
+  return script.substrate == Substrate::kSim
+             ? run_sim(script, seed, audit, sinks)
+             : run_chord(script, seed, sinks);
 }
 
 std::uint64_t resolve_seed(const Script& script, bool cli_seed_set,

@@ -27,6 +27,11 @@
 #include "harness/telemetry.hpp"
 #include "scenario/script.hpp"
 
+namespace dhtlb::obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace dhtlb::obs
+
 namespace dhtlb::scenario {
 
 /// Telemetry produced by one scenario run.  `experiment` is
@@ -37,6 +42,17 @@ struct ScenarioResult {
   std::vector<bench::Record> records;
 };
 
+/// Optional observability sinks threaded through a scenario run.  Both
+/// pointers are nullable and non-owning; the caller controls flushing
+/// and lifetime.  With sinks attached the VM drives the trace clock
+/// (one set_tick per scenario tick), emits an instant per scripted
+/// event, and samples per-tick metrics from whichever substrate runs.
+/// Attaching sinks never changes the ScenarioResult — observation only.
+struct ObsSinks {
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
 /// Runs `script` to completion under `seed` and returns its metrics.
 /// Deterministic: equal (script, seed) pairs produce equal results.
 /// `audit` forces the sim engine's per-tick InvariantAuditor on in any
@@ -45,7 +61,8 @@ struct ScenarioResult {
 /// Aborts via DHTLB_CHECK on internal invariant violations; throws
 /// only what the substrates throw (ring exhaustion, etc.).
 ScenarioResult run_scenario(const Script& script, std::uint64_t seed,
-                            bool audit = false);
+                            bool audit = false,
+                            const ObsSinks& sinks = {});
 
 /// Seed precedence used by the runner and tests: an explicit CLI seed
 /// wins, then the script's `seed` header, then `fallback`

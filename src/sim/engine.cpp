@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/audit.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/load_metrics.hpp"
 #include "support/check.hpp"
 
 namespace dhtlb::sim {
@@ -51,6 +53,7 @@ void Engine::churn_step() {
     if (world_.alive_count() <= 1) break;
     if (rng_.bernoulli(params_.churn_rate) && world_.depart(idx)) {
       ++leaves_;
+      if (trace_) trace_->instant("leave", "churn", {{"node", idx}});
     }
   }
   // Arrivals: each waiting node independently decides to join.  Waiting
@@ -62,8 +65,85 @@ void Engine::churn_step() {
     if (rng_.bernoulli(params_.churn_rate)) ++joins_this_tick;
   }
   for (std::size_t i = 0; i < joins_this_tick; ++i) {
-    if (world_.join_from_pool()) ++joins_;
+    if (world_.join_from_pool()) {
+      ++joins_;
+      if (trace_) trace_->instant("join", "churn");
+    }
   }
+}
+
+void Engine::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  ids_.ring_gini = metrics_->gauge("ring_gini", "ratio");
+  ids_.workload_stddev = metrics_->gauge("workload_stddev", "tasks");
+  ids_.workload_hist = metrics_->histogram(
+      "workload", "tasks",
+      {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+       1024.0});
+  ids_.sybils_live = metrics_->gauge("sybils_live", "sybils");
+  ids_.nodes_alive = metrics_->gauge("nodes_alive", "nodes");
+  ids_.tasks_remaining = metrics_->gauge("tasks_remaining", "tasks");
+  ids_.work_done = metrics_->counter("work_done", "tasks");
+  ids_.churn_joins = metrics_->counter("churn_joins", "nodes");
+  ids_.churn_leaves = metrics_->counter("churn_leaves", "nodes");
+  ids_.tasks_migrated = metrics_->counter("tasks_migrated", "tasks");
+  ids_.workload_queries = metrics_->counter("workload_queries", "queries");
+}
+
+void Engine::observe_tick(std::uint64_t done_this_tick) {
+  // One pass over the alive workloads feeds the gauge trio and the
+  // per-tick histogram; everything below is pure observation.
+  const std::vector<std::uint64_t> loads = world_.alive_workloads();
+  const double ring_gini = stats::gini(loads);
+  stats::RunningStats spread;
+  for (const std::uint64_t load : loads) {
+    spread.add(static_cast<double>(load));
+  }
+  std::uint64_t live_sybils = 0;
+  for (const NodeIndex idx : world_.alive_indices()) {
+    live_sybils += world_.sybil_count(idx);
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->set(ids_.ring_gini, ring_gini);
+    metrics_->set(ids_.workload_stddev, spread.stddev());
+    for (const std::uint64_t load : loads) {
+      metrics_->observe(ids_.workload_hist, static_cast<double>(load));
+    }
+    metrics_->set(ids_.sybils_live, static_cast<double>(live_sybils));
+    metrics_->set(ids_.nodes_alive, static_cast<double>(loads.size()));
+    metrics_->set(ids_.tasks_remaining,
+                  static_cast<double>(world_.remaining_tasks()));
+    metrics_->add(ids_.work_done, static_cast<double>(done_this_tick));
+    metrics_->add(ids_.churn_joins,
+                  static_cast<double>(joins_ - obs_prev_joins_));
+    metrics_->add(ids_.churn_leaves,
+                  static_cast<double>(leaves_ - obs_prev_leaves_));
+    metrics_->add(ids_.tasks_migrated,
+                  static_cast<double>(
+                      strategy_counters_.tasks_acquired_by_sybils -
+                      obs_prev_counters_.tasks_acquired_by_sybils));
+    metrics_->add(ids_.workload_queries,
+                  static_cast<double>(strategy_counters_.workload_queries -
+                                      obs_prev_counters_.workload_queries));
+    metrics_->sample(tick_);
+  }
+  if (trace_ != nullptr) {
+    trace_->counter("nodes_alive", static_cast<double>(loads.size()));
+    trace_->counter("tasks_remaining",
+                    static_cast<double>(world_.remaining_tasks()));
+    trace_->counter("workload_stddev", spread.stddev());
+    trace_->counter("ring_gini", ring_gini);
+    trace_->counter("sybils_live", static_cast<double>(live_sybils));
+    trace_->complete_tick(
+        "tick", {{"work_done", done_this_tick},
+                 {"joins", joins_ - obs_prev_joins_},
+                 {"leaves", leaves_ - obs_prev_leaves_}});
+  }
+  obs_prev_joins_ = joins_;
+  obs_prev_leaves_ = leaves_;
+  obs_prev_counters_ = strategy_counters_;
 }
 
 void Engine::set_churn_rate(double rate) {
@@ -80,6 +160,9 @@ void Engine::set_sybil_threshold(std::uint64_t threshold) {
 
 bool Engine::step() {
   if (tick_ >= cap_) return false;
+  // The trace clock advances before the pre-tick hook so scripted-event
+  // instants emitted by the hook land on the tick they apply to.
+  if (trace_) trace_->set_tick(tick_ + 1);
   // Scripted timeline events apply at the start of the tick, before
   // churn; a true return keeps a drained engine ticking (idle) toward
   // events scheduled later.
@@ -92,6 +175,29 @@ bool Engine::step() {
 
   if (strategy_ && tick_ % params_.decision_period == 0) {
     strategy_->decide(world_, rng_, strategy_counters_);
+    if (trace_) {
+      // Deltas against the last observed tick = this decision's effect
+      // (decisions run at most once per tick).
+      const std::uint64_t spawned = strategy_counters_.sybils_created -
+                                    obs_prev_counters_.sybils_created;
+      const std::uint64_t quit = strategy_counters_.sybils_retired -
+                                 obs_prev_counters_.sybils_retired;
+      trace_->instant(
+          "decision", "strategy",
+          {{"strategy", strategy_->name()},
+           {"sybils_created", spawned},
+           {"sybils_retired", quit},
+           {"tasks_acquired", strategy_counters_.tasks_acquired_by_sybils -
+                                  obs_prev_counters_.tasks_acquired_by_sybils},
+           {"queries", strategy_counters_.workload_queries -
+                           obs_prev_counters_.workload_queries}});
+      if (spawned > 0) {
+        trace_->instant("sybil_spawn", "strategy", {{"count", spawned}});
+      }
+      if (quit > 0) {
+        trace_->instant("sybil_quit", "strategy", {{"count", quit}});
+      }
+    }
   }
 
   // Consumption over a snapshot of the alive set: nodes that joined this
@@ -103,6 +209,7 @@ bool Engine::step() {
   }
   completed_ += done_this_tick;
   if (record_series_) series_.push_back(done_this_tick);
+  if (trace_ || metrics_) observe_tick(done_this_tick);
 
   if (!snapshot_ticks_.empty()) {
     const auto it = std::lower_bound(snapshot_ticks_.begin(),

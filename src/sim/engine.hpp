@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/params.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/strategy.hpp"
@@ -91,6 +93,18 @@ class Engine {
   /// series is O(runtime) memory).
   void record_tick_series(bool enabled) { record_series_ = enabled; }
 
+  /// Attaches a trace sink (nullable; null detaches).  With a sink
+  /// attached the engine emits per-tick spans, churn / decision / sybil
+  /// instants, and counter series; without one, the only cost is a
+  /// branch on this pointer.  Timestamps come from the tick counter, so
+  /// traces are deterministic for a given (params, seed).
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
+  /// Attaches a metrics registry (nullable) and registers the engine's
+  /// instruments on it (see OBSERVABILITY.md for the catalog).  The
+  /// engine samples the registry once at the end of every tick.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Runs the full InvariantAuditor (sim/audit.hpp) after every tick and
   /// aborts with the offending tick + seed on the first violation.
   /// Defaults to on in audit builds (-DDHTLB_AUDIT=ON), off otherwise;
@@ -117,6 +131,7 @@ class Engine {
   void churn_step();
   void run_audit() const;
   void finalize(RunResult& result) const;
+  void observe_tick(std::uint64_t done_this_tick);
 
   Params params_;
   std::uint64_t seed_;
@@ -141,6 +156,29 @@ class Engine {
   std::vector<std::uint64_t> series_;
   std::vector<NodeIndex> churn_scratch_;  // reused alive-set snapshot
   TickHook pre_tick_hook_;
+
+  // Observability (both sinks nullable; see set_trace/set_metrics).
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct MetricIds {
+    obs::MetricsRegistry::Id ring_gini = 0;
+    obs::MetricsRegistry::Id workload_stddev = 0;
+    obs::MetricsRegistry::Id workload_hist = 0;
+    obs::MetricsRegistry::Id sybils_live = 0;
+    obs::MetricsRegistry::Id nodes_alive = 0;
+    obs::MetricsRegistry::Id tasks_remaining = 0;
+    obs::MetricsRegistry::Id work_done = 0;
+    obs::MetricsRegistry::Id churn_joins = 0;
+    obs::MetricsRegistry::Id churn_leaves = 0;
+    obs::MetricsRegistry::Id tasks_migrated = 0;
+    obs::MetricsRegistry::Id workload_queries = 0;
+  };
+  MetricIds ids_{};  // valid only while metrics_ != nullptr
+  // Previous cumulative values, for per-tick deltas fed to counters and
+  // decision instants.
+  std::uint64_t obs_prev_joins_ = 0;
+  std::uint64_t obs_prev_leaves_ = 0;
+  StrategyCounters obs_prev_counters_{};
 };
 
 }  // namespace dhtlb::sim

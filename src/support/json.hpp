@@ -1,0 +1,26 @@
+// Byte-stable JSON fragment formatting, shared by every structured
+// writer in the repo (bench telemetry, observability metrics/traces).
+//
+// All three helpers append to a caller-owned string: escaping covers
+// exactly what our labels can contain (quotes, backslashes, control
+// characters), doubles print with %.17g so equal values always produce
+// equal bytes, and integers print in decimal.  Centralizing them keeps
+// the "equal inputs => byte-equal files" guarantee in one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dhtlb::support {
+
+/// Appends `s` as a quoted, escaped JSON string.
+void json_append_escaped(std::string& out, std::string_view s);
+
+/// Appends `v` with %.17g (round-trips every double exactly).
+void json_append_double(std::string& out, double v);
+
+/// Appends `v` in decimal.
+void json_append_u64(std::string& out, std::uint64_t v);
+
+}  // namespace dhtlb::support

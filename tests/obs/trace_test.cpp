@@ -1,0 +1,152 @@
+// TraceSink unit tests: document format, virtual-clock math, argument
+// encoding, and close semantics.  The sink's whole contract is "equal
+// event sequences produce equal bytes", so most assertions compare
+// literal strings.
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dhtlb::obs {
+namespace {
+
+TEST(TraceSink, EmptyTraceIsACompleteDocument) {
+  std::ostringstream out;
+  {
+    TraceSink sink(out);
+  }  // destructor closes
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+TEST(TraceSink, CloseIsIdempotentAndDropsLaterEvents) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.close();
+  sink.close();
+  sink.instant("late", "test");
+  sink.counter("late", 1.0);
+  sink.complete_tick("late");
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+TEST(TraceSink, InstantCarriesTickClockAndSequence) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(3);
+  sink.instant("a", "test");
+  sink.instant("b", "test");
+  sink.close();
+  // ts = tick * 1e6 + per-tick sequence: 3000000 then 3000001.
+  EXPECT_NE(out.str().find("\"name\":\"a\",\"cat\":\"test\",\"ph\":\"i\","
+                           "\"ts\":3000000"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"name\":\"b\",\"cat\":\"test\",\"ph\":\"i\","
+                           "\"ts\":3000001"),
+            std::string::npos);
+  EXPECT_EQ(sink.event_count(), 2u);
+}
+
+TEST(TraceSink, SetTickResetsTheSequence) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(1);
+  sink.instant("a", "test");
+  sink.set_tick(2);
+  sink.instant("b", "test");
+  sink.close();
+  EXPECT_NE(out.str().find("\"ts\":1000000"), std::string::npos);
+  EXPECT_NE(out.str().find("\"ts\":2000000"), std::string::npos);
+}
+
+TEST(TraceSink, ArgsEncodeAllValueKinds) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(1);
+  sink.instant("e", "test",
+               {{"u", std::uint64_t{42}},
+                {"d", 0.5},
+                {"s", "text"},
+                {"neg", -3}});  // int clamps at 0: counts are unsigned
+  sink.close();
+  EXPECT_NE(out.str().find("\"args\":{\"u\":42,\"d\":0.5,\"s\":\"text\","
+                           "\"neg\":0}"),
+            std::string::npos);
+}
+
+TEST(TraceSink, ArgStringsAreEscaped) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(1);
+  sink.instant("e", "test", {{"s", "a\"b\\c\nd"}});
+  sink.close();
+  EXPECT_NE(out.str().find("\"s\":\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(TraceSink, CompleteTickSpansOneVirtualSecond) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(7);
+  sink.complete_tick("tick", {{"work", std::uint64_t{5}}});
+  sink.close();
+  EXPECT_NE(out.str().find("\"ph\":\"X\",\"ts\":7000000,\"dur\":1000000"),
+            std::string::npos);
+}
+
+TEST(TraceSink, CounterUsesPhCWithValueArg) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(2);
+  sink.counter("nodes", 150.0);
+  sink.close();
+  EXPECT_NE(out.str().find("\"name\":\"nodes\",\"cat\":\"metric\","
+                           "\"ph\":\"C\",\"ts\":2000000,"
+                           "\"args\":{\"value\":150}"),
+            std::string::npos);
+}
+
+TEST(TraceSink, InstantsAreGlobalScope) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(1);
+  sink.instant("e", "test");
+  sink.close();
+  EXPECT_NE(out.str().find("\"s\":\"g\""), std::string::npos);
+}
+
+TEST(TraceSink, OneEventPerLine) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(1);
+  sink.instant("a", "test");
+  sink.instant("b", "test");
+  sink.counter("c", 1.0);
+  sink.close();
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  // header+3 events+footer: events each start on their own line.
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(TraceSink, EqualSequencesProduceEqualBytes) {
+  const auto emit = [] {
+    std::ostringstream out;
+    TraceSink sink(out);
+    for (std::uint64_t tick = 1; tick <= 5; ++tick) {
+      sink.set_tick(tick);
+      sink.instant("join", "churn", {{"node", tick}});
+      sink.counter("nodes", static_cast<double>(tick));
+      sink.complete_tick("tick");
+    }
+    sink.close();
+    return out.str();
+  };
+  EXPECT_EQ(emit(), emit());
+}
+
+}  // namespace
+}  // namespace dhtlb::obs

@@ -95,6 +95,22 @@ TEST(ScenarioParser, ChordScenarioParses) {
   EXPECT_DOUBLE_EQ(s.blocks[0].events[0].value, 0.1);
 }
 
+TEST(ScenarioParser, TraceAndMetricsHeaderKeys) {
+  const Script s = parse(
+      "name x\nticks 10\n"
+      "trace out/x_trace.json\n"
+      "metrics out/x_metrics.jsonl\n"
+      "at 5\n  join 1\nend\n");
+  EXPECT_EQ(s.trace_path, "out/x_trace.json");
+  EXPECT_EQ(s.metrics_path, "out/x_metrics.jsonl");
+}
+
+TEST(ScenarioParser, TraceAndMetricsDefaultToDisabled) {
+  const Script s = parse("name x\nticks 10\nat 5\n  join 1\nend\n");
+  EXPECT_TRUE(s.trace_path.empty());
+  EXPECT_TRUE(s.metrics_path.empty());
+}
+
 // --- the promised diagnostics -------------------------------------------
 
 TEST(ScenarioParser, UnknownEventIsLineNumbered) {
@@ -109,6 +125,15 @@ TEST(ScenarioParser, OutOfOrderAtTicks) {
 
 TEST(ScenarioParser, DuplicateHeaderKey) {
   expect_error("name x\nnodes 10\nnodes 20\n", 3, "duplicate key 'nodes'");
+}
+
+TEST(ScenarioParser, DuplicateTraceKey) {
+  expect_error("name x\ntrace a.json\ntrace b.json\n", 3,
+               "duplicate key 'trace'");
+}
+
+TEST(ScenarioParser, TraceWithoutFileIsAnError) {
+  expect_error("name x\ntrace\n", 2, "trace <file>");
 }
 
 TEST(ScenarioParser, TrailingGarbageOnEvent) {
