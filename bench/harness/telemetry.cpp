@@ -2,6 +2,10 @@
 
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "support/env.hpp"
 #include "support/json.hpp"
 
@@ -23,14 +27,20 @@ std::string to_json(const std::string& experiment,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     out += (i == 0) ? "\n" : ",\n";
-    // Keys in alphabetical order: cell, experiment, metric, seed,
-    // trials, value, wall_ms.
+    // Keys in alphabetical order: cell, experiment, metric,
+    // [peak_rss_bytes], seed, trials, value, wall_ms.  peak_rss_bytes
+    // is only present when nonzero, so records that never measured
+    // memory serialize exactly as they did before the field existed.
     out += "    {\"cell\": ";
     json_append_escaped(out, r.cell);
     out += ", \"experiment\": ";
     json_append_escaped(out, r.experiment);
     out += ", \"metric\": ";
     json_append_escaped(out, r.metric);
+    if (r.peak_rss_bytes != 0) {
+      out += ", \"peak_rss_bytes\": ";
+      json_append_u64(out, r.peak_rss_bytes);
+    }
     out += ", \"seed\": ";
     json_append_u64(out, r.seed);
     out += ", \"trials\": ";
@@ -71,7 +81,8 @@ Telemetry::Telemetry(std::string experiment)
 Telemetry::~Telemetry() { flush(); }
 
 void Telemetry::record(const std::string& cell, const std::string& metric,
-                       double value, double wall_ms, std::uint64_t trials) {
+                       double value, double wall_ms, std::uint64_t trials,
+                       std::uint64_t peak_rss_bytes) {
   Record r;
   r.experiment = experiment_;
   r.cell = cell;
@@ -80,7 +91,22 @@ void Telemetry::record(const std::string& cell, const std::string& metric,
   r.wall_ms = deterministic() ? 0.0 : wall_ms;
   r.seed = support::env_seed();
   r.trials = trials;
+  r.peak_rss_bytes = deterministic() ? 0 : peak_rss_bytes;
   records_.push_back(std::move(r));
+}
+
+std::uint64_t Telemetry::current_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
 }
 
 std::string Telemetry::output_path() const {

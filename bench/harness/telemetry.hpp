@@ -42,6 +42,11 @@ struct Record {
   double wall_ms = 0.0;  // wall time spent producing this value
   std::uint64_t seed = 0;
   std::uint64_t trials = 0;
+  // Process peak RSS observed after producing this value, or 0 when the
+  // bench does not track memory.  Zero is "absent": the field is only
+  // emitted when nonzero, so memory-blind benches keep byte-identical
+  // output, and it is zeroed in deterministic mode like wall_ms.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// Serializes records to the schema above.  Pure function of its inputs
@@ -83,9 +88,16 @@ class Telemetry {
   Telemetry& operator=(const Telemetry&) = delete;
 
   /// Appends one record.  `seed` defaults to support::env_seed();
-  /// wall_ms is zeroed when DHTLB_BENCH_DETERMINISTIC is set.
+  /// wall_ms (and peak_rss_bytes, when given) are zeroed when
+  /// DHTLB_BENCH_DETERMINISTIC is set.
   void record(const std::string& cell, const std::string& metric,
-              double value, double wall_ms, std::uint64_t trials);
+              double value, double wall_ms, std::uint64_t trials,
+              std::uint64_t peak_rss_bytes = 0);
+
+  /// This process's peak resident set so far, in bytes (getrusage
+  /// ru_maxrss), or 0 where the platform does not report it.  Scale
+  /// benches pass this to record() so CI can gate memory regressions.
+  static std::uint64_t current_peak_rss_bytes();
 
   const std::vector<Record>& records() const { return records_; }
   std::string json() const { return to_json(experiment_, records_); }

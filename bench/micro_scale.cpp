@@ -1,0 +1,109 @@
+// Micro-benchmarks for the flat-ring data layer at the scales the
+// roadmap targets: world construction (bulk load + two-pass task
+// assignment), successor-arc walks, point lookups (cover), and churn
+// (join/depart cycles driving the staged-merge machinery).  These are
+// the throughput numbers the scaling work is judged by — see the
+// "Performance trajectory" section of EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "harness/micro.hpp"
+
+#include <optional>
+
+#include "sim/world.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using dhtlb::sim::Params;
+using dhtlb::sim::World;
+using dhtlb::support::Rng;
+using dhtlb::support::Uint160;
+
+Params make_params(std::size_t nodes, std::uint64_t tasks) {
+  Params p;
+  p.initial_nodes = nodes;
+  p.total_tasks = tasks;
+  return p;
+}
+
+void BM_ScaleConstruction(benchmark::State& state) {
+  // Full world build: SHA-1 placement, bulk index sort, exact-owner
+  // task assignment.  Tasks scale 2x nodes, matching tableS_scale.
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const Params p = make_params(nodes, 2 * nodes);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    World w(p, rng);
+    benchmark::DoNotOptimize(w.remaining_tasks());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ScaleConstruction)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScaleArcWalk(benchmark::State& state) {
+  // successor_arcs(id, 5) from every vnode — the strategy inner loop.
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  World w(make_params(nodes, 2 * nodes), rng);
+  const auto ids = w.ring_ids();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const auto& id : ids) {
+      for (const auto& arc : w.successor_arcs(id, 5)) sum += arc.task_count;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 5);
+}
+BENCHMARK(BM_ScaleArcWalk)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScaleCover(benchmark::State& state) {
+  // Point lookups at uniformly random keys — the task-routing path.
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  World w(make_params(nodes, 2 * nodes), rng);
+  Rng key_rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.arc_covering(key_rng.uniform_u160()));
+  }
+}
+BENCHMARK(BM_ScaleCover)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_ScaleChurn(benchmark::State& state) {
+  // One depart + one join per iteration: staged inserts, tombstoned
+  // erases, and the amortized merge passes that fold them away.
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  World w(make_params(nodes, 2 * nodes), rng);
+  Rng pick(5);
+  for (auto _ : state) {
+    const auto& alive = w.alive_indices();
+    const auto victim =
+        alive[static_cast<std::size_t>(pick.range(0, alive.size() - 1))];
+    benchmark::DoNotOptimize(w.depart(victim));
+    benchmark::DoNotOptimize(w.join_from_pool());
+  }
+}
+BENCHMARK(BM_ScaleChurn)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dhtlb::bench::micro_main("micro_scale", argc, argv);
+}

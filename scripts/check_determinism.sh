@@ -10,10 +10,12 @@
 # structured output at any parallelism.
 #
 # Usage: scripts/check_determinism.sh [build_dir] [nodes] [tasks] [trials]
+# build_dir defaults to $DHTLB_BUILD_DIR when set (so wrappers with an
+# existing configured tree need no positional argument), else "build".
 # Exit 0 on success, 1 on a determinism break, 2 when the binary is missing.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-${DHTLB_BUILD_DIR:-build}}"
 NODES="${2:-100}"
 TASKS="${3:-10000}"
 TRIALS="${4:-3}"

@@ -92,6 +92,19 @@ def compare_file(name, base_path, cur_path, args, failures):
                     f"{base_wall:.1f}ms -> {cur_wall:.1f}ms normalized "
                     f"({ratio:.2f}x, limit {1.0 + args.max_regression:.2f}x)")
 
+        # Peak-RSS gate: memory is machine-comparable (no calibration
+        # scaling).  The field is optional — only records where both
+        # sides measured it are gated.
+        base_rss = base_r.get("peak_rss_bytes", 0)
+        cur_rss = cur_r.get("peak_rss_bytes", 0)
+        if base_rss > 0 and cur_rss > 0:
+            rss_ratio = cur_rss / base_rss
+            if rss_ratio > 1.0 + args.max_rss_regression:
+                failures.append(
+                    f"{name}: {key} peak-RSS regression: "
+                    f"{base_rss} -> {cur_rss} bytes ({rss_ratio:.2f}x, "
+                    f"limit {1.0 + args.max_rss_regression:.2f}x)")
+
         if args.check_values and key[1] != "wall_ms":
             # wall_ms-metric records (grid fan timings) are wall clock
             # re-exposed as a value; only the normalized wall check
@@ -120,13 +133,16 @@ def self_test(args):
              "metric": "splitmix64_20m_ms", "seed": 0, "trials": 1,
              "value": 50.0, "wall_ms": 50.0},
             {"cell": "c", "experiment": "selftest", "metric": "m",
-             "seed": 0, "trials": 1, "value": 1.0, "wall_ms": 100.0},
+             "seed": 0, "trials": 1, "value": 1.0, "wall_ms": 100.0,
+             "peak_rss_bytes": 1000000},
         ],
     }
     slow = json.loads(json.dumps(base))
     slow["records"][1]["wall_ms"] = 200.0  # injected 2x slowdown
     drift = json.loads(json.dumps(base))
     drift["records"][1]["value"] = 2.0  # injected value drift
+    bloat = json.loads(json.dumps(base))
+    bloat["records"][1]["peak_rss_bytes"] = 2000000  # injected 2x RSS
 
     import tempfile
     with tempfile.TemporaryDirectory() as tmp:
@@ -167,6 +183,18 @@ def self_test(args):
         failures = []
         compare_file("BENCH_selftest.json",
                      os.path.join(base_dir, "BENCH_selftest.json"),
+                     os.path.join(write("bloat", bloat),
+                                  "BENCH_selftest.json"),
+                     args, failures)
+        rss_failures = [f for f in failures if "peak-RSS" in f]
+        if not rss_failures:
+            print("self-test FAILED: 2x RSS growth was not flagged")
+            return 1
+        print(f"self-test: RSS growth correctly flagged: {rss_failures[0]}")
+
+        failures = []
+        compare_file("BENCH_selftest.json",
+                     os.path.join(base_dir, "BENCH_selftest.json"),
                      os.path.join(base_dir, "BENCH_selftest.json"),
                      args, failures)
         if failures:
@@ -183,6 +211,9 @@ def main():
     ap.add_argument("--current-dir", default=".")
     ap.add_argument("--max-regression", type=float, default=0.20,
                     help="allowed fractional wall-time increase (0.20=20%%)")
+    ap.add_argument("--max-rss-regression", type=float, default=0.25,
+                    help="allowed fractional peak-RSS increase, for records"
+                         " carrying peak_rss_bytes (0.25=25%%)")
     ap.add_argument("--check-values", action="store_true",
                     help="also compare deterministic values at equal "
                          "seed/trials")

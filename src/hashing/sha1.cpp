@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "hashing/sha1_block.hpp"
+
 namespace dhtlb::hashing {
 
 namespace {
@@ -14,15 +16,20 @@ constexpr std::uint32_t rotl32(std::uint32_t x, int k) {
 constexpr std::array<std::uint32_t, 5> kInitState = {
     0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
 
+}  // namespace
+
+namespace detail {
+
 // One SHA-1 compression over a prepared 16-word big-endian block,
 // fully unrolled in the classic block-sha1 style: the message schedule
 // lives in a 16-word circular buffer expanded in step with the rounds
 // (no 80-word array, no store/reload round-trip), and the five working
 // variables rotate *roles* between rounds instead of being shuffled
 // through a temp.  The boolean forms are the standard 3-op equivalents
-// of the spec's choose/majority expressions.
-void compress(std::array<std::uint32_t, 5>& state,
-              const std::uint32_t block_words[16]) {
+// of the spec's choose/majority expressions.  The SHA-NI twin lives in
+// sha1_ni.cpp; detail::compress (sha1_block.hpp) picks one per process.
+void compress_scalar(std::array<std::uint32_t, 5>& state,
+                     const std::uint32_t block_words[16]) {
   std::uint32_t w[16];
   for (int t = 0; t < 16; ++t) w[t] = block_words[t];
 
@@ -42,7 +49,8 @@ void compress(std::array<std::uint32_t, 5>& state,
   // One round with explicit variable roles; callers rotate the roles so
   // no data ever moves between the five registers.
   const auto rnd = [&sched](std::uint32_t va, std::uint32_t& vb,
-                            std::uint32_t vc, std::uint32_t vd,
+                            [[maybe_unused]] std::uint32_t vc,
+                            [[maybe_unused]] std::uint32_t vd,
                             std::uint32_t& ve, std::uint32_t f,
                             std::uint32_t k, int t) {
     ve += rotl32(va, 5) + f + k + sched(t);
@@ -94,7 +102,7 @@ void compress(std::array<std::uint32_t, 5>& state,
   state[4] += e;
 }
 
-}  // namespace
+}  // namespace detail
 
 void Sha1::reset() {
   state_ = kInitState;
@@ -170,7 +178,7 @@ void Sha1::process_block(const std::uint8_t* block) {
            (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
            static_cast<std::uint32_t>(block[4 * t + 3]);
   }
-  compress(state_, w);
+  detail::compress(state_, w);
 }
 
 Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
@@ -203,7 +211,7 @@ support::Uint160 Sha1::hash_u64(std::uint64_t value) {
   w[15] = 64;          // bit length of the 8-byte message
 
   std::array<std::uint32_t, 5> state = kInitState;
-  compress(state, w);
+  detail::compress(state, w);
 
   std::array<std::uint8_t, 20> digest{};
   for (std::size_t i = 0; i < 5; ++i) {

@@ -1,0 +1,46 @@
+// Internal: SHA-1 compression kernels and their runtime dispatch.
+//
+// The compression function is the entire cost of Sha1::hash_u64 — the
+// one-call-per-node-ID / per-task-key primitive that dominates world
+// construction at large N.  x86 CPUs with the SHA new instructions
+// (sha1rnds4/sha1nexte/sha1msg1/sha1msg2) run the 80 rounds several
+// times faster than any scalar formulation, and since SHA-1 is a fixed
+// function, the digest is bit-identical whichever kernel computes it —
+// goldens and baselines cannot tell the difference.
+//
+// Both kernels take the block as 16 already-assembled big-endian words
+// (host byte order), the form Sha1's buffering layer and the hash_u64
+// fast path naturally produce.  Dispatch is decided once per process
+// via cpuid; non-x86 builds always report the NI kernel unavailable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dhtlb::hashing::detail {
+
+/// Portable compression (classic block-sha1 formulation).
+void compress_scalar(std::array<std::uint32_t, 5>& state,
+                     const std::uint32_t block_words[16]);
+
+/// True when this CPU executes the x86 SHA new instructions.
+bool sha_ni_supported();
+
+/// SHA-NI compression.  Call only when sha_ni_supported(); elsewhere it
+/// falls back to compress_scalar so the symbol always links.
+void compress_ni(std::array<std::uint32_t, 5>& state,
+                 const std::uint32_t block_words[16]);
+
+/// Dispatches to the fastest available kernel.  Bit-identical output;
+/// tests/hashing cross-checks the kernels on random blocks.
+inline void compress(std::array<std::uint32_t, 5>& state,
+                     const std::uint32_t block_words[16]) {
+  static const bool use_ni = sha_ni_supported();
+  if (use_ni) {
+    compress_ni(state, block_words);
+  } else {
+    compress_scalar(state, block_words);
+  }
+}
+
+}  // namespace dhtlb::hashing::detail

@@ -1,0 +1,204 @@
+// SHA-1 compression on the x86 SHA new instructions.
+//
+// Follows the canonical Intel schedule: ABCD live in one vector with
+// `a` in the top lane, E rides in the top lane of a second vector, and
+// the four message vectors are expanded in-flight with sha1msg1/msg2
+// while sha1rnds4 retires four rounds at a time.  The input here is 16
+// big-endian words already in host order, so the message vectors are
+// built with set_epi32 (w0 in the top lane) instead of the byte-swap
+// shuffle the raw-bytes formulation needs.
+#include "hashing/sha1_block.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+namespace dhtlb::hashing::detail {
+
+bool sha_ni_supported() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+}
+
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_ni(
+    std::array<std::uint32_t, 5>& state, const std::uint32_t w[16]) {
+  // a,b,c,d with `a` in the top lane; E in the top lane of E0.
+  __m128i abcd = _mm_set_epi32(
+      static_cast<int>(state[0]), static_cast<int>(state[1]),
+      static_cast<int>(state[2]), static_cast<int>(state[3]));
+  __m128i e0 = _mm_set_epi32(static_cast<int>(state[4]), 0, 0, 0);
+  const __m128i abcd_save = abcd;
+  const __m128i e_save = e0;
+  __m128i e1;
+
+  const auto load4 = [&w](int t) {
+    // One load plus a lane reversal puts w[t] in the top lane — far
+    // cheaper than assembling the vector from four scalar inserts.
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + t));
+    return _mm_shuffle_epi32(raw, 0x1B);
+  };
+
+  // Rounds 0-15: the block itself, four words per vector.
+  __m128i msg0 = load4(0);
+  e0 = _mm_add_epi32(e0, msg0);
+  e1 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+
+  __m128i msg1 = load4(4);
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+
+  __m128i msg2 = load4(8);
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  __m128i msg3 = load4(12);
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  // Rounds 16-79: schedule expansion interleaved with the rounds; the
+  // round constant selector steps 0→3 every twenty rounds.
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+  msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+  msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+  msg0 = _mm_xor_si128(msg0, msg2);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+  msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+  msg1 = _mm_xor_si128(msg1, msg3);
+
+  e0 = _mm_sha1nexte_epu32(e0, msg0);
+  e1 = abcd;
+  msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+  msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+  msg2 = _mm_xor_si128(msg2, msg0);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg1);
+  e0 = abcd;
+  msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+  msg3 = _mm_xor_si128(msg3, msg1);
+
+  e0 = _mm_sha1nexte_epu32(e0, msg2);
+  e1 = abcd;
+  msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+  abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+
+  e1 = _mm_sha1nexte_epu32(e1, msg3);
+  e0 = abcd;
+  abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+
+  // Fold back into the chaining state.  sha1nexte adds rotl30 of e0's
+  // top lane into e_save's top lane — exactly the e update the scalar
+  // `state[4] += e` performs after the final role rotation.
+  e0 = _mm_sha1nexte_epu32(e0, e_save);
+  abcd = _mm_add_epi32(abcd, abcd_save);
+
+  state[0] = static_cast<std::uint32_t>(_mm_extract_epi32(abcd, 3));
+  state[1] = static_cast<std::uint32_t>(_mm_extract_epi32(abcd, 2));
+  state[2] = static_cast<std::uint32_t>(_mm_extract_epi32(abcd, 1));
+  state[3] = static_cast<std::uint32_t>(_mm_extract_epi32(abcd, 0));
+  state[4] = static_cast<std::uint32_t>(_mm_extract_epi32(e0, 3));
+}
+
+}  // namespace dhtlb::hashing::detail
+
+#else  // non-x86: the NI kernel is never selected; keep the symbols.
+
+namespace dhtlb::hashing::detail {
+
+bool sha_ni_supported() { return false; }
+
+void compress_ni(std::array<std::uint32_t, 5>& state,
+                 const std::uint32_t w[16]) {
+  compress_scalar(state, w);
+}
+
+}  // namespace dhtlb::hashing::detail
+
+#endif

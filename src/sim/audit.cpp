@@ -31,6 +31,7 @@ std::string AuditReport::to_string() const {
 
 AuditReport InvariantAuditor::run() const {
   AuditReport report;
+  check_index_integrity(report);
   check_ring_order(report);
   check_key_partition(report);
   check_successor_lists(report);
@@ -39,6 +40,15 @@ AuditReport InvariantAuditor::run() const {
   check_membership(report);
   check_conservation(report);
   return report;
+}
+
+void InvariantAuditor::check_index_integrity(AuditReport& report) const {
+  if (!world_.ring_index_consistent()) {
+    fail(report, "index-integrity", [](std::ostream& os) {
+      os << "flat ring index inconsistent (sortedness, tombstone/staging "
+            "bookkeeping, or slot-arena cross-references)";
+    });
+  }
 }
 
 void InvariantAuditor::check_ring_order(AuditReport& report) const {
@@ -77,10 +87,9 @@ void InvariantAuditor::check_ring_order(AuditReport& report) const {
 }
 
 void InvariantAuditor::check_key_partition(AuditReport& report) const {
-  const auto ids = world_.ring_ids();
-  if (ids.size() <= 1) return;  // a single vnode owns the whole ring
-  for (const Uint160& id : ids) {
-    const ArcView arc = world_.arc_of(id);
+  if (world_.vnode_count() <= 1) return;  // a single vnode owns everything
+  world_.for_each_arc([&](const ArcView& arc) {
+    const Uint160& id = arc.id;
     for (const TaskKey& key : world_.vnode_keys(id)) {
       if (!support::in_half_open_arc(key, arc.pred, arc.id)) {
         fail(report, "key-partition", [&](std::ostream& os) {
@@ -92,7 +101,7 @@ void InvariantAuditor::check_key_partition(AuditReport& report) const {
         break;  // one offending key per vnode keeps the report readable
       }
     }
-  }
+  });
 }
 
 void InvariantAuditor::check_successor_lists(AuditReport& report) const {
@@ -128,14 +137,14 @@ void InvariantAuditor::check_successor_lists(AuditReport& report) const {
 
 void InvariantAuditor::check_sybil_ownership(AuditReport& report) const {
   const std::size_t physicals = world_.physical_count();
-  for (const Uint160& id : world_.ring_ids()) {
-    const ArcView arc = world_.arc_of(id);
+  world_.for_each_arc([&](const ArcView& arc) {
+    const Uint160& id = arc.id;
     if (arc.owner >= physicals) {
       fail(report, "sybil-ownership", [&](std::ostream& os) {
         os << "vnode " << id.to_short_hex() << " owner index " << arc.owner
            << " out of range (" << physicals << " physical nodes)";
       });
-      continue;
+      return;
     }
     const PhysicalNode& owner = world_.physical(arc.owner);
     if (!owner.alive) {
@@ -160,7 +169,7 @@ void InvariantAuditor::check_sybil_ownership(AuditReport& report) const {
         });
       }
     }
-  }
+  });
   for (const NodeIndex idx : world_.alive_indices()) {
     const PhysicalNode& node = world_.physical(idx);
     if (node.vnode_ids.empty()) {
@@ -204,10 +213,9 @@ void InvariantAuditor::check_sybil_ownership(AuditReport& report) const {
 
 void InvariantAuditor::check_workload_cache(AuditReport& report) const {
   std::vector<std::uint64_t> per_owner(world_.physical_count(), 0);
-  for (const Uint160& id : world_.ring_ids()) {
-    const ArcView arc = world_.arc_of(id);
+  world_.for_each_arc([&](const ArcView& arc) {
     if (arc.owner < per_owner.size()) per_owner[arc.owner] += arc.task_count;
-  }
+  });
   for (std::size_t i = 0; i < per_owner.size(); ++i) {
     const auto idx = static_cast<NodeIndex>(i);
     if (world_.physical(idx).workload != per_owner[i]) {
@@ -218,11 +226,11 @@ void InvariantAuditor::check_workload_cache(AuditReport& report) const {
       });
     }
   }
-  // The consume() fast path walks cached VirtualNode pointers; a stale
-  // entry would silently consume from the wrong arc.
+  // The consume() fast path walks cached arena slots; a stale entry
+  // would silently consume from the wrong arc.
   if (!world_.vnode_cache_consistent()) {
     fail(report, "workload-cache", [](std::ostream& os) {
-      os << "cached VirtualNode pointers disagree with vnode_ids/ring";
+      os << "cached arena slots disagree with vnode_ids/ring";
     });
   }
 }
@@ -266,9 +274,8 @@ void InvariantAuditor::check_membership(AuditReport& report) const {
 
 void InvariantAuditor::check_conservation(AuditReport& report) const {
   std::uint64_t stored = 0;
-  for (const Uint160& id : world_.ring_ids()) {
-    stored += world_.arc_of(id).task_count;
-  }
+  world_.for_each_arc(
+      [&](const ArcView& arc) { stored += arc.task_count; });
   if (stored != world_.remaining_tasks()) {
     fail(report, "conservation", [&](std::ostream& os) {
       os << "ring stores " << stored << " tasks, world reports "

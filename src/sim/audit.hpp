@@ -8,6 +8,9 @@
 // enough context to localize it — vnode ID, owner index, task key.
 //
 // Checks (names are stable; tests match on them):
+//   index-integrity  the flat ring's own bookkeeping is sound: sorted
+//                    index + staging halves, tombstone/live counts, and
+//                    slot-arena cross-references (see FlatRing)
 //   ring-order       vnode IDs strictly ascending mod 2^160; each arc's
 //                    predecessor edge agrees with ring order; a lookup
 //                    for a vnode's own ID lands on that vnode
@@ -64,6 +67,7 @@ class InvariantAuditor {
 
   // Individual checks append their findings; exposed so tests can pin a
   // seeded corruption to the exact check that must catch it.
+  void check_index_integrity(AuditReport& report) const;
   void check_ring_order(AuditReport& report) const;
   void check_key_partition(AuditReport& report) const;
   void check_successor_lists(AuditReport& report) const;

@@ -1,0 +1,362 @@
+#include "sim/flat_ring.hpp"
+
+#include <algorithm>
+
+namespace dhtlb::sim {
+namespace {
+
+// Integer sqrt (floor) for the merge threshold; n is a vnode count, so
+// a few Newton steps from a 64-bit seed always converge.
+std::size_t isqrt(std::size_t n) {
+  if (n < 2) return n;
+  std::size_t x = n;
+  std::size_t y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + n / x) / 2;
+  }
+  return x;
+}
+
+// Below this the staging memmoves are cheaper than any merge pass.
+constexpr std::size_t kMinBatch = 32;
+
+bool entry_id_less(const FlatRing::Entry& e, const Uint160& id) {
+  return e.id < id;
+}
+bool id_entry_less(const Uint160& id, const FlatRing::Entry& e) {
+  return id < e.id;
+}
+
+}  // namespace
+
+// --- membership -----------------------------------------------------------
+
+bool FlatRing::contains(const Uint160& id) const {
+  const std::size_t m = main_lower_bound(id);
+  if (m < entries_.size() && entries_[m].id == id &&
+      entries_[m].slot != kNoSlot) {
+    return true;
+  }
+  const std::size_t s = stage_lower_bound(id);
+  return s < staging_.size() && staging_[s].id == id;
+}
+
+// --- bounds ---------------------------------------------------------------
+
+std::size_t FlatRing::main_lower_bound(const Uint160& id) const {
+  const std::size_t n = entries_.size();
+  // Interpolation-guided search: ids are SHA-1 outputs, i.e. uniform on
+  // the ring, so the rank of `id` is ≈ high64/2^64 · n with O(√n) error.
+  // Gallop out from that estimate, then finish with a binary search over
+  // the (cache-resident) bracket.  Tombstones keep their id and stay in
+  // sorted position, so the estimate is unaffected by pending erases.
+  // Falls back to plain lower_bound when the array is too small for the
+  // estimate to beat log2(n) probes.
+  if (n < 64) {
+    return static_cast<std::size_t>(
+        std::lower_bound(entries_.begin(), entries_.end(), id, entry_id_less) -
+        entries_.begin());
+  }
+  // rank/2^32 · n via the top 32 bits — stays in 64-bit arithmetic.
+  const std::size_t est = static_cast<std::size_t>(
+      ((id.high64() >> 32) * static_cast<std::uint64_t>(n)) >> 32);  // < n
+  std::size_t lo, hi;
+  std::size_t step = 16;
+  if (entries_[est].id < id) {
+    lo = est + 1;
+    hi = est + 1;
+    while (hi < n && entries_[hi].id < id) {
+      lo = hi + 1;
+      hi += step;
+      step *= 2;
+    }
+    if (hi > n) hi = n;
+  } else {
+    hi = est;
+    lo = hi >= step ? hi - step : 0;
+    while (lo > 0 && !(entries_[lo].id < id)) {
+      hi = lo;
+      step *= 2;
+      lo = lo >= step ? lo - step : 0;
+    }
+  }
+  return static_cast<std::size_t>(
+      std::lower_bound(entries_.begin() + static_cast<std::ptrdiff_t>(lo),
+                       entries_.begin() + static_cast<std::ptrdiff_t>(hi), id,
+                       entry_id_less) -
+      entries_.begin());
+}
+
+std::size_t FlatRing::main_upper_bound(const Uint160& id) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(entries_.begin(), entries_.end(), id, id_entry_less) -
+      entries_.begin());
+}
+
+std::size_t FlatRing::stage_lower_bound(const Uint160& id) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(staging_.begin(), staging_.end(), id, entry_id_less) -
+      staging_.begin());
+}
+
+std::size_t FlatRing::stage_upper_bound(const Uint160& id) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(staging_.begin(), staging_.end(), id, id_entry_less) -
+      staging_.begin());
+}
+
+// --- cursors --------------------------------------------------------------
+
+FlatRing::Cursor FlatRing::find(const Uint160& id) const {
+  DHTLB_CHECK(!bulk_mode_, "FlatRing::find during bulk load");
+  const std::size_t m = main_lower_bound(id);
+  if (m < entries_.size() && entries_[m].id == id &&
+      entries_[m].slot != kNoSlot) {
+    Cursor c;
+    c.main = m;
+    c.stage = stage_lower_bound(id);
+    c.on_stage = false;
+    return c;
+  }
+  const std::size_t s = stage_lower_bound(id);
+  DHTLB_CHECK(s < staging_.size() && staging_[s].id == id,
+              "FlatRing::find: id " << id << " not in ring");
+  Cursor c;
+  c.main = m;
+  c.stage = s;
+  c.on_stage = true;
+  return c;
+}
+
+FlatRing::Cursor FlatRing::cover(const Uint160& point) const {
+  DHTLB_CHECK(!bulk_mode_, "FlatRing::cover during bulk load");
+  DHTLB_CHECK(live_ > 0, "FlatRing::cover on empty ring");
+  const std::size_t m = skip_dead(main_lower_bound(point));
+  const std::size_t s = stage_lower_bound(point);
+  const bool have_m = m < entries_.size();
+  const bool have_s = s < staging_.size();
+  if (!have_m && !have_s) return first();  // wrapped past the top
+  Cursor c;
+  if (have_m && (!have_s || entries_[m].id < staging_[s].id)) {
+    c.main = m;
+    c.stage = s;
+    c.on_stage = false;
+  } else {
+    c.main = m;
+    c.stage = s;
+    c.on_stage = true;
+  }
+  return c;
+}
+
+FlatRing::Cursor FlatRing::first() const {
+  DHTLB_CHECK(live_ > 0, "FlatRing::first on empty ring");
+  const std::size_t m = skip_dead(0);
+  const bool have_m = m < entries_.size();
+  const bool have_s = !staging_.empty();
+  Cursor c;
+  c.main = m;
+  c.stage = 0;
+  c.on_stage = have_s && (!have_m || staging_[0].id < entries_[m].id);
+  return c;
+}
+
+FlatRing::Cursor FlatRing::last() const {
+  DHTLB_CHECK(live_ > 0, "FlatRing::last on empty ring");
+  // Last live main entry, scanning back over at most dead_ tombstones.
+  std::size_t m = entries_.size();
+  while (m > 0 && entries_[m - 1].slot == kNoSlot) --m;
+  const bool have_m = m > 0;
+  const bool have_s = !staging_.empty();
+  Cursor c;
+  if (have_s && (!have_m || entries_[m - 1].id < staging_.back().id)) {
+    c.main = entries_.size();
+    c.stage = staging_.size() - 1;
+    c.on_stage = true;
+  } else {
+    c.main = m - 1;
+    c.stage = staging_.size();
+    c.on_stage = false;
+  }
+  return c;
+}
+
+// --- slot arena -----------------------------------------------------------
+
+Slot FlatRing::alloc_slot(const Uint160& id, NodeIndex owner, bool is_sybil) {
+  Slot s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+    ids_[s] = id;
+    owners_[s] = owner;
+    sybils_[s] = is_sybil ? 1 : 0;
+  } else {
+    s = static_cast<Slot>(ids_.size());
+    DHTLB_CHECK(s != kNoSlot, "FlatRing: slot arena exhausted");
+    ids_.push_back(id);
+    owners_.push_back(owner);
+    sybils_.push_back(is_sybil ? 1 : 0);
+    tasks_.emplace_back();
+  }
+  return s;
+}
+
+void FlatRing::free_slot(Slot s) {
+  // Drop the bucket's capacity too: under churn a recycled slot's next
+  // occupant usually holds far fewer keys than a departed node's peak.
+  tasks_[s] = TaskStore{};
+  free_slots_.push_back(s);
+}
+
+// --- mutation -------------------------------------------------------------
+
+Slot FlatRing::insert(const Uint160& id, NodeIndex owner, bool is_sybil) {
+  DHTLB_CHECK(!bulk_mode_, "FlatRing::insert during bulk load");
+  DHTLB_ASSERT(!contains(id), "FlatRing::insert: duplicate id " << id);
+  const Slot slot = alloc_slot(id, owner, is_sybil);
+  const std::size_t s = stage_lower_bound(id);
+  staging_.insert(staging_.begin() + static_cast<std::ptrdiff_t>(s),
+                  Entry{id, slot});
+  ++live_;
+  merge_if_needed();
+  return slot;
+}
+
+void FlatRing::erase(const Uint160& id) {
+  DHTLB_CHECK(!bulk_mode_, "FlatRing::erase during bulk load");
+  const std::size_t s = stage_lower_bound(id);
+  if (s < staging_.size() && staging_[s].id == id) {
+    free_slot(staging_[s].slot);
+    staging_.erase(staging_.begin() + static_cast<std::ptrdiff_t>(s));
+    --live_;
+    return;
+  }
+  const std::size_t m = main_lower_bound(id);
+  DHTLB_CHECK(m < entries_.size() && entries_[m].id == id &&
+                  entries_[m].slot != kNoSlot,
+              "FlatRing::erase: id " << id << " not in ring");
+  free_slot(entries_[m].slot);
+  entries_[m].slot = kNoSlot;
+  ++dead_;
+  --live_;
+  merge_if_needed();
+}
+
+void FlatRing::reserve(std::size_t n) {
+  entries_.reserve(n);
+  ids_.reserve(n);
+  owners_.reserve(n);
+  sybils_.reserve(n);
+  tasks_.reserve(n);
+}
+
+Slot FlatRing::bulk_append(const Uint160& id, NodeIndex owner,
+                           bool is_sybil) {
+  DHTLB_CHECK(staging_.empty() && dead_ == 0,
+              "FlatRing::bulk_append on a churned ring");
+  bulk_mode_ = true;
+  const Slot slot = alloc_slot(id, owner, is_sybil);
+  entries_.push_back(Entry{id, slot});
+  ++live_;
+  return slot;
+}
+
+void FlatRing::finalize_bulk() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  bulk_mode_ = false;
+}
+
+// --- merge passes ---------------------------------------------------------
+
+std::size_t FlatRing::merge_threshold() const {
+  return kMinBatch + isqrt(live_);
+}
+
+void FlatRing::merge_if_needed() {
+  const std::size_t threshold = merge_threshold();
+  if (staging_.size() > threshold || dead_ > threshold) merge_now();
+}
+
+void FlatRing::merge_now() {
+  std::vector<Entry> merged;
+  merged.reserve(live_);
+  std::size_t m = skip_dead(0);
+  std::size_t s = 0;
+  while (m < entries_.size() || s < staging_.size()) {
+    if (s >= staging_.size() ||
+        (m < entries_.size() && entries_[m].id < staging_[s].id)) {
+      merged.push_back(entries_[m]);
+      m = skip_dead(m + 1);
+    } else {
+      merged.push_back(staging_[s]);
+      ++s;
+    }
+  }
+  entries_ = std::move(merged);
+  staging_.clear();
+  dead_ = 0;
+  ++merge_passes_;
+}
+
+// --- introspection --------------------------------------------------------
+
+bool FlatRing::index_consistent() const {
+  if (bulk_mode_) return false;
+  // Both halves strictly sorted; staging all live.
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (!(entries_[i - 1].id < entries_[i].id)) return false;
+  }
+  for (std::size_t i = 0; i < staging_.size(); ++i) {
+    if (staging_[i].slot == kNoSlot) return false;
+    if (i > 0 && !(staging_[i - 1].id < staging_[i].id)) return false;
+  }
+  // Counts line up.
+  std::size_t main_live = 0;
+  std::size_t main_dead = 0;
+  for (const Entry& e : entries_) {
+    if (e.slot == kNoSlot) {
+      ++main_dead;
+    } else {
+      ++main_live;
+    }
+  }
+  if (main_dead != dead_) return false;
+  if (main_live + staging_.size() != live_) return false;
+  // Every live entry's slot is in range, unique, not on the free list,
+  // and stores the id the index claims.
+  std::vector<std::uint8_t> seen(ids_.size(), 0);
+  for (const Slot s : free_slots_) {
+    if (s >= ids_.size() || seen[s]) return false;
+    seen[s] = 2;
+  }
+  const auto check_entry = [&](const Entry& e) {
+    if (e.slot >= ids_.size() || seen[e.slot]) return false;
+    seen[e.slot] = 1;
+    return ids_[e.slot] == e.id;
+  };
+  for (const Entry& e : entries_) {
+    if (e.slot != kNoSlot && !check_entry(e)) return false;
+  }
+  for (const Entry& e : staging_) {
+    if (!check_entry(e)) return false;
+  }
+  // No leaked slots: every slot is live or free.
+  for (const std::uint8_t mark : seen) {
+    if (mark == 0) return false;
+  }
+  // A staged id may only collide with a *dead* main entry (the
+  // erase-then-reinsert case); a live duplicate would shadow it.
+  for (const Entry& e : staging_) {
+    const std::size_t m = main_lower_bound(e.id);
+    if (m < entries_.size() && entries_[m].id == e.id &&
+        entries_[m].slot != kNoSlot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dhtlb::sim

@@ -1,6 +1,7 @@
 #include "sim/world.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "hashing/sha1.hpp"
 #include "sim/audit.hpp"
@@ -8,6 +9,22 @@
 #include "support/ring_math.hpp"
 
 namespace dhtlb::sim {
+
+namespace {
+
+// Transparent id set for construction-time collision redraws: FlatRing's
+// binary search is unusable mid-bulk-load (the index is unsorted until
+// finalize_bulk), and a tree set would reintroduce the per-node
+// allocations the flat ring removes.  SHA-1 output is uniform, so the
+// low 64 bits are already a perfect hash; equality stays full-width.
+struct IdHash {
+  std::size_t operator()(const Uint160& id) const noexcept {
+    return static_cast<std::size_t>(id.low64());
+  }
+};
+using IdSet = std::unordered_set<Uint160, IdHash>;
+
+}  // namespace
 
 World::World(const Params& params, support::Rng& rng)
     : params_(params), rng_(rng) {
@@ -36,37 +53,55 @@ World::World(const Params& params, support::Rng& rng)
     waiting_.push_back(static_cast<NodeIndex>(i));
   }
 
-  // Place the initially alive nodes at SHA-1 IDs.
+  // Place the initially alive nodes at SHA-1 IDs through the ring's
+  // bulk-load path: unsorted appends plus one sort, instead of n
+  // ordered inserts.  Collision redraws (the ~2^-160 case) consult a
+  // transient hash set holding exactly the ids placed so far, so the
+  // RNG draw sequence matches the incremental construction bit for bit.
+  ring_.reserve(n);
+  IdSet placed;
+  placed.reserve(n);
   for (const NodeIndex idx : alive_) {
-    const Uint160 id = fresh_ring_id();
-    VirtualNode vnode;
-    vnode.owner = idx;
-    vnode.is_sybil = false;
-    const auto [it, inserted] = ring_.emplace(id, std::move(vnode));
-    DHTLB_ASSERT(inserted, "World: fresh_ring_id returned a duplicate");
+    Uint160 id = hashing::Sha1::hash_u64(rng_());
+    while (!placed.insert(id).second) {
+      id = hashing::Sha1::hash_u64(rng_());
+    }
+    const Slot slot = ring_.bulk_append(id, idx, /*is_sybil=*/false);
     physicals_[idx].vnode_ids.push_back(id);
-    vnode_cache_[idx].push_back(&it->second);
+    vnode_cache_[idx].push_back(slot);
     initial_capacity_ += work_per_tick(idx);
   }
+  ring_.finalize_bulk();
 
   // Assign SHA-1-keyed tasks to their owner arcs: owner of key k is the
-  // first vnode clockwise at or after k.  The ring is fixed for the
-  // whole bulk assignment, so resolve owners against a contiguous sorted
-  // snapshot of the ring (binary search with cache-friendly accesses)
-  // instead of paying a std::map tree walk per task.  Keys are still
-  // drawn and appended in draw order, so every TaskStore's contents are
+  // first vnode clockwise at or after k.  Two passes over the keys —
+  // first resolve every owner slot and count its bucket, then reserve
+  // each TaskStore exactly and append in draw order — so no bucket ever
+  // reallocates mid-fill.  Keys are drawn before any is appended, which
+  // consumes the identical RNG sequence (assignment draws nothing), and
+  // appending in draw order keeps every TaskStore's contents
   // bit-identical to the incremental construction.
-  std::vector<std::pair<Uint160, VirtualNode*>> arcs;
-  arcs.reserve(ring_.size());
-  for (auto& [id, vnode] : ring_) arcs.emplace_back(id, &vnode);
+  std::vector<Uint160> keys;
+  std::vector<Slot> owners;
+  keys.reserve(params_.total_tasks);
+  owners.reserve(params_.total_tasks);
+  // Bulk-load slots are allocated densely as 0..n-1, so a plain vector
+  // indexed by slot serves as the bucket counter.
+  std::vector<std::uint32_t> bucket_sizes(n, 0);
   for (std::uint64_t t = 0; t < params_.total_tasks; ++t) {
     const Uint160 key = hashing::Sha1::hash_u64(rng_());
-    auto it = std::lower_bound(
-        arcs.begin(), arcs.end(), key,
-        [](const auto& arc, const Uint160& k) { return arc.first < k; });
-    if (it == arcs.end()) it = arcs.begin();
-    it->second->tasks.add(key);
-    ++physicals_[it->second->owner].workload;
+    const Slot slot = ring_.slot_at(ring_.cover(key));
+    keys.push_back(key);
+    owners.push_back(slot);
+    ++bucket_sizes[slot];
+  }
+  for (Slot slot = 0; slot < bucket_sizes.size(); ++slot) {
+    if (bucket_sizes[slot] != 0) ring_.tasks(slot).reserve(bucket_sizes[slot]);
+  }
+  for (std::size_t t = 0; t < keys.size(); ++t) {
+    const Slot slot = owners[t];
+    ring_.tasks(slot).add(keys[t]);
+    ++physicals_[ring_.owner(slot)].workload;
   }
   remaining_ = params_.total_tasks;
   total_tasks_ = params_.total_tasks;
@@ -93,81 +128,29 @@ std::vector<std::uint64_t> World::alive_workloads() const {
   return loads;
 }
 
-World::RingMap::const_iterator World::ring_successor(
-    RingMap::const_iterator it) const {
-  ++it;
-  return it == ring_.end() ? ring_.begin() : it;
-}
-
-World::RingMap::iterator World::ring_successor(RingMap::iterator it) {
-  ++it;
-  return it == ring_.end() ? ring_.begin() : it;
-}
-
-World::RingMap::const_iterator World::ring_predecessor(
-    RingMap::const_iterator it) const {
-  if (it == ring_.begin()) return std::prev(ring_.end());
-  return std::prev(it);
+ArcView World::view_at(const FlatRing::Cursor& cursor) const {
+  const Slot slot = ring_.slot_at(cursor);
+  ArcView view;
+  view.id = ring_.id_at(cursor);
+  view.pred = ring_.id_at(ring_.prev(cursor));
+  view.owner = ring_.owner(slot);
+  view.is_sybil = ring_.is_sybil(slot);
+  view.task_count = ring_.tasks(slot).size();
+  return view;
 }
 
 ArcView World::arc_of(const Uint160& vnode_id) const {
-  const auto it = ring_.find(vnode_id);
-  DHTLB_CHECK(it != ring_.end(), "arc_of: vnode " << vnode_id
-                                                  << " not in ring");
-  ArcView view;
-  view.id = vnode_id;
-  view.pred = ring_predecessor(it)->first;
-  view.owner = it->second.owner;
-  view.is_sybil = it->second.is_sybil;
-  view.task_count = it->second.tasks.size();
-  return view;
-}
-
-ArcView World::ArcWalk::iterator::operator*() const {
-  ArcView view;
-  view.id = cursor_->first;
-  view.pred = world_->ring_predecessor(cursor_)->first;
-  view.owner = cursor_->second.owner;
-  view.is_sybil = cursor_->second.is_sybil;
-  view.task_count = cursor_->second.tasks.size();
-  return view;
-}
-
-World::ArcWalk::iterator& World::ArcWalk::iterator::operator++() {
-  cursor_ = forward_ ? world_->ring_successor(cursor_)
-                     : world_->ring_predecessor(cursor_);
-  --remaining_;
-  if (remaining_ != 0 && cursor_->first == start_) remaining_ = 0;
-  return *this;
-}
-
-World::ArcWalk::iterator World::ArcWalk::begin() const {
-  iterator it;
-  it.world_ = world_;
-  it.forward_ = forward_;
-  it.start_ = start_->first;
-  it.cursor_ = forward_ ? world_->ring_successor(start_)
-                        : world_->ring_predecessor(start_);
-  // A walk is empty when k is zero or the starting vnode is alone in the
-  // ring (its only neighbor is itself).
-  it.remaining_ = (k_ == 0 || it.cursor_->first == it.start_) ? 0 : k_;
-  return it;
+  return view_at(ring_.find(vnode_id));
 }
 
 World::ArcWalk World::successor_arcs(const Uint160& vnode_id,
                                      std::size_t k) const {
-  const auto it = ring_.find(vnode_id);
-  DHTLB_CHECK(it != ring_.end(), "successor_arcs: vnode " << vnode_id
-                                                          << " not in ring");
-  return ArcWalk(this, it, k, /*forward=*/true);
+  return ArcWalk(this, ring_.find(vnode_id), k, /*forward=*/true);
 }
 
 World::ArcWalk World::predecessor_arcs(const Uint160& vnode_id,
                                        std::size_t k) const {
-  const auto it = ring_.find(vnode_id);
-  DHTLB_CHECK(it != ring_.end(), "predecessor_arcs: vnode "
-                                     << vnode_id << " not in ring");
-  return ArcWalk(this, it, k, /*forward=*/false);
+  return ArcWalk(this, ring_.find(vnode_id), k, /*forward=*/false);
 }
 
 std::vector<Uint160> World::successors_of(const Uint160& vnode_id,
@@ -191,28 +174,16 @@ std::vector<Uint160> World::predecessors_of(const Uint160& vnode_id,
 }
 
 ArcView World::arc_covering(const Uint160& point) const {
-  auto it = ring_.lower_bound(point);
-  if (it == ring_.end()) it = ring_.begin();
-  // Build the view from the iterator we already hold — arc_of(it->first)
-  // would repeat the ring walk just performed by lower_bound.
-  ArcView view;
-  view.id = it->first;
-  view.pred = ring_predecessor(it)->first;
-  view.owner = it->second.owner;
-  view.is_sybil = it->second.is_sybil;
-  view.task_count = it->second.tasks.size();
-  return view;
+  return view_at(ring_.cover(point));
 }
 
 std::optional<Uint160> World::median_task_key(const Uint160& vnode_id) const {
-  const auto it = ring_.find(vnode_id);
-  DHTLB_CHECK(it != ring_.end(), "median_task_key: vnode " << vnode_id
-                                                           << " not in ring");
-  const auto& keys = it->second.tasks.keys();
+  const FlatRing::Cursor cursor = ring_.find(vnode_id);
+  const auto& keys = ring_.tasks(ring_.slot_at(cursor)).keys();
   if (keys.empty()) return std::nullopt;
   // Order keys by clockwise distance from the arc start so wrapping
   // arcs sort correctly, then take the lower median.
-  const Uint160 start = ring_predecessor(it)->first;
+  const Uint160 start = ring_.id_at(ring_.prev(cursor));
   std::vector<Uint160> offsets;
   offsets.reserve(keys.size());
   for (const auto& k : keys) {
@@ -225,10 +196,7 @@ std::optional<Uint160> World::median_task_key(const Uint160& vnode_id) const {
 }
 
 const std::vector<TaskKey>& World::vnode_keys(const Uint160& vnode_id) const {
-  const auto it = ring_.find(vnode_id);
-  DHTLB_CHECK(it != ring_.end(), "vnode_keys: vnode " << vnode_id
-                                                      << " not in ring");
-  return it->second.tasks.keys();
+  return ring_.tasks(ring_.slot_at(ring_.find(vnode_id))).keys();
 }
 
 Uint160 World::fresh_ring_id() {
@@ -240,42 +208,45 @@ Uint160 World::fresh_ring_id() {
   }
 }
 
-std::optional<std::uint64_t> World::create_sybil(NodeIndex owner,
-                                                 Uint160 id) {
-  if (ring_.contains(id)) return std::nullopt;
+std::uint64_t World::insert_vnode(NodeIndex owner, const Uint160& id,
+                                  bool is_sybil) {
   // Find the vnode currently covering `id` (first vnode clockwise at or
-  // after it); the new Sybil takes the keys in (pred, id] from it.
-  auto succ = ring_.lower_bound(id);
-  if (succ == ring_.end()) succ = ring_.begin();
-  auto pred_it = ring_predecessor(succ);
-  const Uint160 pred_id = pred_it->first;
+  // after it); the new vnode takes the keys in (pred, id] from it.
+  const FlatRing::Cursor succ = ring_.cover(id);
+  const Slot succ_slot = ring_.slot_at(succ);
+  const Uint160 pred_id = ring_.id_at(ring_.prev(succ));
 
-  VirtualNode vnode;
-  vnode.owner = owner;
-  vnode.is_sybil = true;
-  const std::uint64_t acquired =
-      succ->second.tasks.split_arc_into(pred_id, id, vnode.tasks);
-  physicals_[succ->second.owner].workload -= acquired;
+  // Insert before splitting: the insert may grow the arena, so the
+  // TaskStore references must be taken afterwards.  Slots are stable,
+  // so succ_slot survives the mutation even though the cursor doesn't.
+  const Slot slot = ring_.insert(id, owner, is_sybil);
+  const std::uint64_t acquired = ring_.tasks(succ_slot).split_arc_into(
+      pred_id, id, ring_.tasks(slot));
+  physicals_[ring_.owner(succ_slot)].workload -= acquired;
   physicals_[owner].workload += acquired;
 
-  const auto [it, inserted] = ring_.emplace(id, std::move(vnode));
-  DHTLB_ASSERT(inserted, "create_sybil: duplicate id survived the guard");
   physicals_[owner].vnode_ids.push_back(id);
-  vnode_cache_[owner].push_back(&it->second);
+  vnode_cache_[owner].push_back(slot);
   return acquired;
 }
 
+std::optional<std::uint64_t> World::create_sybil(NodeIndex owner,
+                                                 Uint160 id) {
+  if (ring_.contains(id)) return std::nullopt;
+  return insert_vnode(owner, id, /*is_sybil=*/true);
+}
+
 void World::remove_vnode(const Uint160& id) {
-  auto it = ring_.find(id);
-  DHTLB_CHECK(it != ring_.end(), "remove_vnode: vnode " << id
-                                                        << " not in ring");
+  const FlatRing::Cursor cursor = ring_.find(id);
   DHTLB_CHECK(ring_.size() > 1,
               "remove_vnode: removing " << id << " would empty the ring");
-  auto succ = ring_successor(it);
-  const std::uint64_t moved = succ->second.tasks.merge_from(it->second.tasks);
-  physicals_[it->second.owner].workload -= moved;
-  physicals_[succ->second.owner].workload += moved;
-  ring_.erase(it);
+  const Slot dead_slot = ring_.slot_at(cursor);
+  const Slot succ_slot = ring_.slot_at(ring_.next(cursor));
+  const std::uint64_t moved =
+      ring_.tasks(succ_slot).merge_from(ring_.tasks(dead_slot));
+  physicals_[ring_.owner(dead_slot)].workload -= moved;
+  physicals_[ring_.owner(succ_slot)].workload += moved;
+  ring_.erase(id);
 }
 
 void World::remove_sybils(NodeIndex owner) {
@@ -317,24 +288,7 @@ std::optional<NodeIndex> World::join_from_pool() {
   PhysicalNode& node = physicals_[idx];
   node.alive = true;
   alive_.push_back(idx);
-
-  const Uint160 id = fresh_ring_id();
-  auto succ = ring_.lower_bound(id);
-  if (succ == ring_.end()) succ = ring_.begin();
-  const Uint160 pred_id = ring_predecessor(succ)->first;
-
-  VirtualNode vnode;
-  vnode.owner = idx;
-  vnode.is_sybil = false;
-  const std::uint64_t acquired =
-      succ->second.tasks.split_arc_into(pred_id, id, vnode.tasks);
-  physicals_[succ->second.owner].workload -= acquired;
-  node.workload = acquired;
-
-  const auto [it, inserted] = ring_.emplace(id, std::move(vnode));
-  DHTLB_ASSERT(inserted, "join_from_pool: fresh id collided with the ring");
-  node.vnode_ids.push_back(id);
-  vnode_cache_[idx].push_back(&it->second);
+  insert_vnode(idx, fresh_ring_id(), /*is_sybil=*/false);
   return idx;
 }
 
@@ -344,20 +298,21 @@ std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
   while (consumed < budget && node.workload > 0) {
     // Work on the most-loaded vnode first; within a vnode, task order is
     // immaterial (uniform random pick, see TaskStore::consume_random).
-    // The cached pointers mirror vnode_ids in order, so the scan picks
+    // The cached slots mirror vnode_ids in order, so the scan picks
     // the same vnode (including on ties) as a ring lookup per id would,
-    // without the O(log ring) find per vnode.
-    VirtualNode* busiest = nullptr;
-    for (VirtualNode* vnode : vnode_cache_[idx]) {
-      if (busiest == nullptr || vnode->tasks.size() > busiest->tasks.size()) {
-        busiest = vnode;
+    // without the O(log ring) search per vnode.
+    TaskStore* busiest = nullptr;
+    for (const Slot slot : vnode_cache_[idx]) {
+      TaskStore& tasks = ring_.tasks(slot);
+      if (busiest == nullptr || tasks.size() > busiest->size()) {
+        busiest = &tasks;
       }
     }
-    if (busiest == nullptr || busiest->tasks.empty()) break;
+    if (busiest == nullptr || busiest->empty()) break;
     const std::uint64_t take =
-        std::min<std::uint64_t>(budget - consumed, busiest->tasks.size());
+        std::min<std::uint64_t>(budget - consumed, busiest->size());
     for (std::uint64_t i = 0; i < take; ++i) {
-      busiest->tasks.consume_random(rng_);
+      busiest->consume_random(rng_);
     }
     consumed += take;
     node.workload -= take;
@@ -367,10 +322,9 @@ std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
 }
 
 void World::inject_task(const Uint160& key) {
-  auto it = ring_.lower_bound(key);
-  if (it == ring_.end()) it = ring_.begin();
-  it->second.tasks.add(key);
-  ++physicals_[it->second.owner].workload;
+  const Slot slot = ring_.slot_at(ring_.cover(key));
+  ring_.tasks(slot).add(key);
+  ++physicals_[ring_.owner(slot)].workload;
   ++remaining_;
   ++total_tasks_;
 }
@@ -388,7 +342,7 @@ void World::set_sybil_threshold(std::uint64_t threshold) {
 std::vector<Uint160> World::ring_ids() const {
   std::vector<Uint160> ids;
   ids.reserve(ring_.size());
-  for (const auto& [id, vnode] : ring_) ids.push_back(id);
+  ring_.for_each([&](const Uint160& id, Slot) { ids.push_back(id); });
   return ids;
 }
 
@@ -403,8 +357,9 @@ bool World::vnode_cache_consistent() const {
     const auto& cache = vnode_cache_[i];
     if (cache.size() != ids.size()) return false;
     for (std::size_t j = 0; j < ids.size(); ++j) {
-      const auto it = ring_.find(ids[j]);
-      if (it == ring_.end() || cache[j] != &it->second) return false;
+      if (!ring_.contains(ids[j])) return false;
+      if (ring_.slot_at(ring_.find(ids[j])) != cache[j]) return false;
+      if (ring_.id_of(cache[j]) != ids[j]) return false;
     }
   }
   return true;

@@ -11,13 +11,20 @@
 // Vocabulary: a *virtual node* (vnode) is a ring position — either a
 // physical node's primary presence or one of its Sybils.  A *physical
 // node* owns 1 + #Sybils vnodes, has a strength, and consumes work.
+//
+// Storage: the ring lives in a FlatRing (sim/flat_ring.hpp) — a sorted
+// (id, slot) index over a stable slot arena — rather than a
+// std::map<Uint160, VirtualNode>, so 100k..1M-vnode worlds fit in flat
+// arrays instead of a pointer-chased tree.  Per-vnode payloads are
+// addressed by stable Slot handles; the per-physical-node vnode cache
+// stores those handles where it used to store map value pointers.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "sim/flat_ring.hpp"
 #include "sim/params.hpp"
 #include "sim/task_store.hpp"
 #include "support/check.hpp"
@@ -31,16 +38,6 @@ struct WorldCorruptor;  // test-only backdoor, defined under tests/sim/
 }
 
 using support::Uint160;
-
-/// Index of a physical node in the world (stable across its lifetime).
-using NodeIndex = std::uint32_t;
-
-/// One ring position and the tasks it currently owns.
-struct VirtualNode {
-  NodeIndex owner = 0;
-  bool is_sybil = false;
-  TaskStore tasks;
-};
 
 /// A machine participating (or waiting to participate) in the network.
 struct PhysicalNode {
@@ -61,8 +58,6 @@ struct ArcView {
 };
 
 class World {
-  using RingMap = std::map<Uint160, VirtualNode>;
-
  public:
   /// Builds the initial network: `initial_nodes` alive physical nodes
   /// with SHA-1 IDs, an equal-size waiting pool, and `total_tasks`
@@ -72,10 +67,10 @@ class World {
   /// Lazy, allocation-free walk over up to k neighbor arcs of a vnode —
   /// the hot-path form of successors_of/predecessors_of + arc_of.  Each
   /// dereference yields the ArcView of the next vnode clockwise (or
-  /// counterclockwise) using cached ring iterators, so a full scan of a
+  /// counterclockwise) using a cached ring cursor, so a full scan of a
   /// successor list costs one ring lookup total instead of one per
   /// neighbor plus a vector allocation.  The walk stops early when the
-  /// ring wraps back to the starting vnode.  Iterators are invalidated
+  /// ring wraps back to the starting vnode.  Cursors are invalidated
   /// by any ring mutation (join/depart/create_sybil/remove_sybils).
   class ArcWalk {
    public:
@@ -97,8 +92,13 @@ class World {
      private:
       friend class ArcWalk;
       const World* world_ = nullptr;
-      RingMap::const_iterator cursor_{};
+      FlatRing::Cursor cursor_{};
       Uint160 start_{};
+      // Forward walks visit each arc right after its predecessor, so the
+      // pred id is carried along instead of re-derived with a ring step
+      // per dereference.  Backward walks visit pred-first and cannot
+      // cache it; they call prev() in operator*.
+      Uint160 pred_{};
       std::size_t remaining_ = 0;  // 0 == end
       bool forward_ = true;
     };
@@ -108,12 +108,12 @@ class World {
 
    private:
     friend class World;
-    ArcWalk(const World* world, RingMap::const_iterator start, std::size_t k,
+    ArcWalk(const World* world, FlatRing::Cursor start, std::size_t k,
             bool forward)
         : world_(world), start_(start), k_(k), forward_(forward) {}
 
     const World* world_;
-    RingMap::const_iterator start_;
+    FlatRing::Cursor start_;
     std::size_t k_;
     bool forward_;
   };
@@ -142,6 +142,13 @@ class World {
   /// the invariant auditor, snapshots and tests — strategies must not
   /// use it (global knowledge).
   std::vector<Uint160> ring_ids() const;
+
+  /// Calls fn(const ArcView&) for every vnode in clockwise (ascending)
+  /// order — the bulk form of arc_of over the whole ring, O(ring) total
+  /// instead of one ring search per vnode.  Same global-knowledge caveat
+  /// as ring_ids(): for the auditor, snapshots and tests only.
+  template <typename Fn>
+  void for_each_arc(Fn&& fn) const;
 
   /// Tasks per tick this node completes (1, or strength — §V-B).
   std::uint64_t work_per_tick(NodeIndex idx) const;
@@ -261,10 +268,15 @@ class World {
   /// details matter.
   bool check_invariants() const;
 
-  /// True iff the per-physical-node cached VirtualNode pointers agree
-  /// with vnode_ids and the ring (the consume() fast path relies on
-  /// them).  O(ring log ring); for the auditor and tests.
+  /// True iff the per-physical-node cached arena slots agree with
+  /// vnode_ids and the ring (the consume() fast path relies on them).
+  /// O(ring log ring); for the auditor and tests.
   bool vnode_cache_consistent() const;
+
+  /// Deep structural check of the flat ring index itself (sortedness,
+  /// tombstone/staging bookkeeping, slot-arena cross-references).  For
+  /// the auditor and tests.
+  bool ring_index_consistent() const { return ring_.index_consistent(); }
 
  private:
   // Test-only: lets auditor tests seed deliberate corruptions (orphaned
@@ -272,9 +284,8 @@ class World {
   // makes impossible by construction.
   friend struct testing::WorldCorruptor;
 
-  RingMap::const_iterator ring_successor(RingMap::const_iterator it) const;
-  RingMap::const_iterator ring_predecessor(RingMap::const_iterator it) const;
-  RingMap::iterator ring_successor(RingMap::iterator it);
+  /// Builds the ArcView of the vnode a cursor points at.
+  ArcView view_at(const FlatRing::Cursor& cursor) const;
 
   /// Generates a fresh SHA-1 node/task ID not colliding with the ring.
   Uint160 fresh_ring_id();
@@ -283,21 +294,93 @@ class World {
   /// must not be the last one in the ring.
   void remove_vnode(const Uint160& id);
 
+  /// Shared join logic: splits the arc covering `id` and inserts a new
+  /// vnode there for `owner`.  Returns the tasks acquired.
+  std::uint64_t insert_vnode(NodeIndex owner, const Uint160& id,
+                             bool is_sybil);
+
   Params params_;
   support::Rng& rng_;
-  RingMap ring_;
+  FlatRing ring_;
   std::vector<PhysicalNode> physicals_;
-  // Cached &ring_[id] for each entry of physicals_[i].vnode_ids, same
-  // order.  std::map guarantees value pointers stay stable across other
-  // elements' insert/erase, so consume() can reach a node's TaskStores
-  // without an O(log ring) find per vnode per tick.  Maintained at every
-  // vnode_ids mutation site; audited by vnode_cache_consistent().
-  std::vector<std::vector<VirtualNode*>> vnode_cache_;
+  // Cached ring slot for each entry of physicals_[i].vnode_ids, same
+  // order.  FlatRing slots stay stable across other vnodes'
+  // insert/erase (the arena recycles but never moves live slots), so
+  // consume() can reach a node's TaskStores without an O(log ring)
+  // search per vnode per tick.  Maintained at every vnode_ids mutation
+  // site; audited by vnode_cache_consistent().
+  std::vector<std::vector<Slot>> vnode_cache_;
   std::vector<NodeIndex> alive_;
   std::vector<NodeIndex> waiting_;
   std::uint64_t remaining_ = 0;
   std::uint64_t total_tasks_ = 0;  // initial job + injected tasks
   std::uint64_t initial_capacity_ = 0;
 };
+
+// The walk iterator ops live here (not in world.cpp) so the per-arc ring
+// steps inline into strategy loops — they are the hot path of every
+// successor-list scan.
+inline ArcView World::ArcWalk::iterator::operator*() const {
+  if (!forward_) return world_->view_at(cursor_);
+  const Slot slot = world_->ring_.slot_at(cursor_);
+  ArcView view;
+  view.pred = pred_;
+  view.id = world_->ring_.id_at(cursor_);
+  view.owner = world_->ring_.owner(slot);
+  view.is_sybil = world_->ring_.is_sybil(slot);
+  view.task_count = world_->ring_.tasks(slot).size();
+  return view;
+}
+
+inline World::ArcWalk::iterator& World::ArcWalk::iterator::operator++() {
+  if (forward_) {
+    pred_ = world_->ring_.id_at(cursor_);
+    cursor_ = world_->ring_.next(cursor_);
+  } else {
+    cursor_ = world_->ring_.prev(cursor_);
+  }
+  --remaining_;
+  if (remaining_ != 0 && world_->ring_.id_at(cursor_) == start_) {
+    remaining_ = 0;
+  }
+  return *this;
+}
+
+inline World::ArcWalk::iterator World::ArcWalk::begin() const {
+  iterator it;
+  it.world_ = world_;
+  it.forward_ = forward_;
+  it.start_ = world_->ring_.id_at(start_);
+  if (forward_) {
+    it.pred_ = it.start_;  // the first visited arc succeeds the start
+    it.cursor_ = world_->ring_.next(start_);
+  } else {
+    it.cursor_ = world_->ring_.prev(start_);
+  }
+  // A walk is empty when k is zero or the starting vnode is alone in the
+  // ring (its only neighbor is itself).
+  it.remaining_ =
+      (k_ == 0 || world_->ring_.id_at(it.cursor_) == it.start_) ? 0 : k_;
+  return it;
+}
+
+template <typename Fn>
+void World::for_each_arc(Fn&& fn) const {
+  if (ring_.empty()) return;
+  // The predecessor of the first (smallest) id is the ring's largest id;
+  // after that each vnode's predecessor is simply the previous one in
+  // ascending order.
+  Uint160 pred = ring_.id_at(ring_.prev(ring_.first()));
+  ring_.for_each([&](const Uint160& id, Slot slot) {
+    ArcView view;
+    view.pred = pred;
+    view.id = id;
+    view.owner = ring_.owner(slot);
+    view.is_sybil = ring_.is_sybil(slot);
+    view.task_count = ring_.tasks(slot).size();
+    fn(static_cast<const ArcView&>(view));
+    pred = id;
+  });
+}
 
 }  // namespace dhtlb::sim

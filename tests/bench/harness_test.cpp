@@ -102,6 +102,42 @@ TEST(ToJson, EmptyRecordsYieldValidSkeleton) {
   EXPECT_NE(json.find("\"records\": []"), std::string::npos);
 }
 
+TEST(ToJson, PeakRssOmittedWhenZeroAndSortedBetweenMetricAndSeed) {
+  // Absent by default: zero-RSS records serialize exactly as before the
+  // field existed.
+  const std::string without = to_json("exp", sample_records());
+  EXPECT_EQ(without.find("peak_rss_bytes"), std::string::npos);
+
+  auto records = sample_records();
+  records[0].peak_rss_bytes = 123456789;
+  const std::string with = to_json("exp", records);
+  const std::size_t pos = with.find("\"peak_rss_bytes\": 123456789");
+  ASSERT_NE(pos, std::string::npos);
+  // Alphabetical slot: after "metric", before "seed" in the same record.
+  EXPECT_LT(with.find("\"metric\""), pos);
+  EXPECT_GT(with.find("\"seed\""), pos);
+  // The second record did not measure memory and stays clean.
+  EXPECT_EQ(with.find("\"peak_rss_bytes\"", pos + 1), std::string::npos);
+}
+
+TEST(Telemetry, PeakRssZeroedInDeterministicMode) {
+  ScopedEnv det("DHTLB_BENCH_DETERMINISTIC", "1");
+  ScopedEnv nojson("DHTLB_BENCH_JSON", "0");
+  Telemetry t("unit");
+  t.record("c", "m", 1.0, 9.0, 1, /*peak_rss_bytes=*/1 << 20);
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].peak_rss_bytes, 0u);
+  EXPECT_EQ(t.json().find("peak_rss_bytes"), std::string::npos);
+}
+
+TEST(Telemetry, CurrentPeakRssIsPlausible) {
+  // A running process has touched at least a megabyte and (on any
+  // machine this suite targets) well under a terabyte.
+  const std::uint64_t rss = Telemetry::current_peak_rss_bytes();
+  EXPECT_GE(rss, 1u << 20);
+  EXPECT_LT(rss, 1ull << 40);
+}
+
 TEST(Telemetry, RecordCapturesEnvSeedAndZeroesWallWhenDeterministic) {
   ScopedEnv seed("DHTLB_SEED", "1234");
   ScopedEnv det("DHTLB_BENCH_DETERMINISTIC", "1");

@@ -108,6 +108,17 @@ TEST(InvariantAuditorTest, DetectsMembershipCorruption) {
   EXPECT_TRUE(failing_checks(world).contains("membership"));
 }
 
+TEST(InvariantAuditorTest, DetectsDesyncedRingIndex) {
+  // The arena id is rewritten behind the index's back; every public
+  // observer keeps answering from the index, so only the
+  // index-integrity cross-reference can notice.
+  support::Rng rng(41);
+  World world(small_params(), rng);
+  ASSERT_TRUE(WorldCorruptor::desync_ring_index(world));
+  EXPECT_FALSE(world.check_invariants());
+  EXPECT_TRUE(failing_checks(world).contains("index-integrity"));
+}
+
 TEST(InvariantAuditorTest, SybilCapViolationIsDetected) {
   // create_sybil deliberately does not enforce the cap (that is the
   // strategy's job) — the auditor must flag a strategy that overshoots.

@@ -1,0 +1,224 @@
+// FlatRing unit coverage: the sorted-index + slot-arena container that
+// replaced the std::map ring.  Exercises both write paths (bulk load and
+// staged churn), tombstoned erases, amortized merge passes, cursor walks
+// with wrap-around, cover semantics, and the deep index_consistent()
+// check the invariant auditor relies on.
+#include "sim/flat_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/world_corruptor.hpp"
+#include "support/rng.hpp"
+#include "support/uint160.hpp"
+
+namespace dhtlb::sim {
+namespace {
+
+using support::Uint160;
+
+Uint160 id(std::uint64_t v) { return Uint160{v}; }
+
+/// Ring pre-loaded through the bulk path with the given low-64 ids.
+FlatRing make_ring(const std::vector<std::uint64_t>& ids) {
+  FlatRing ring;
+  ring.reserve(ids.size());
+  for (const std::uint64_t v : ids) {
+    ring.bulk_append(id(v), static_cast<NodeIndex>(v % 7), false);
+  }
+  ring.finalize_bulk();
+  return ring;
+}
+
+/// All live ids in iteration order, via for_each.
+std::vector<Uint160> collect(const FlatRing& ring) {
+  std::vector<Uint160> out;
+  ring.for_each([&](const Uint160& vid, Slot) { out.push_back(vid); });
+  return out;
+}
+
+TEST(FlatRingTest, EmptyRingHasNoMembers) {
+  FlatRing ring;
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.contains(id(1)));
+  EXPECT_TRUE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, BulkLoadSortsOnceAndAnswersQueries) {
+  // Deliberately unsorted append order.
+  FlatRing ring = make_ring({50, 10, 40, 20, 30});
+  EXPECT_EQ(ring.size(), 5u);
+  const std::vector<Uint160> expected = {id(10), id(20), id(30), id(40),
+                                         id(50)};
+  EXPECT_EQ(collect(ring), expected);
+  EXPECT_TRUE(ring.contains(id(30)));
+  EXPECT_FALSE(ring.contains(id(31)));
+  EXPECT_TRUE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, SlotAccessorsRoundTripPayload) {
+  FlatRing ring;
+  const Slot a = ring.insert(id(5), /*owner=*/3, /*is_sybil=*/false);
+  const Slot b = ring.insert(id(9), /*owner=*/4, /*is_sybil=*/true);
+  EXPECT_EQ(ring.id_of(a), id(5));
+  EXPECT_EQ(ring.owner(a), 3u);
+  EXPECT_FALSE(ring.is_sybil(a));
+  EXPECT_TRUE(ring.is_sybil(b));
+  ring.set_owner(b, 6);
+  EXPECT_EQ(ring.owner(b), 6u);
+  ring.tasks(a).add(id(1000));
+  EXPECT_EQ(ring.tasks(a).size(), 1u);
+}
+
+TEST(FlatRingTest, SlotsStayValidAcrossUnrelatedMutations) {
+  // The replacement for the old "map value pointers never move"
+  // contract: a cached Slot must survive inserts, erases, and the merge
+  // passes they trigger.
+  FlatRing ring = make_ring({100});
+  const Slot cached = ring.slot_at(ring.find(id(100)));
+  ring.tasks(cached).add(id(7777));
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    ring.insert(id(v), 0, false);
+  }
+  for (std::uint64_t v = 0; v < 64; v += 2) {
+    ring.erase(id(v));
+  }
+  EXPECT_GT(ring.merge_passes(), 0u);  // churn above forced folds
+  EXPECT_EQ(ring.id_of(cached), id(100));
+  EXPECT_EQ(ring.tasks(cached).size(), 1u);
+  EXPECT_TRUE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, InsertLandsInStagingUntilMergeThreshold) {
+  // Large enough index that a handful of staged inserts stays under the
+  // ~sqrt(live) merge threshold.
+  std::vector<std::uint64_t> ids(400);
+  for (std::uint64_t v = 0; v < 400; ++v) ids[v] = 10 * v;
+  FlatRing ring = make_ring(ids);
+  const std::uint64_t passes_before = ring.merge_passes();
+  ring.insert(id(5), 0, false);
+  ring.insert(id(15), 0, false);
+  EXPECT_EQ(ring.staged_count(), 2u);
+  EXPECT_EQ(ring.merge_passes(), passes_before);
+  // Staged entries are fully visible to queries before any merge.
+  EXPECT_TRUE(ring.contains(id(5)));
+  EXPECT_EQ(ring.id_at(ring.next(ring.first())), id(5));
+  EXPECT_TRUE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, EraseTombstonesInPlaceAndDropsMembership) {
+  std::vector<std::uint64_t> ids(400);
+  for (std::uint64_t v = 0; v < 400; ++v) ids[v] = 10 * v;
+  FlatRing ring = make_ring(ids);
+  ring.erase(id(100));
+  EXPECT_EQ(ring.size(), 399u);
+  EXPECT_FALSE(ring.contains(id(100)));
+  EXPECT_EQ(ring.tombstone_count(), 1u);
+  // The tombstone is invisible to walks: 90's successor is now 110.
+  EXPECT_EQ(ring.id_at(ring.next(ring.find(id(90)))), id(110));
+  EXPECT_TRUE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, SustainedChurnTriggersMergePassesAndRecyclesSlots) {
+  FlatRing ring = make_ring({1, 2, 3});
+  support::Rng rng(99);
+  std::set<std::uint64_t> alive = {1, 2, 3};
+  std::uint64_t fresh = 4;
+  // Insert-biased (2:1) so the ring grows and staging repeatedly
+  // crosses the ~sqrt(live) merge threshold; a balanced walk would
+  // hover below it and never fold.
+  for (int round = 0; round < 500; ++round) {
+    if (rng.below(3) == 0 && alive.size() > 1) {
+      auto it = alive.begin();
+      std::advance(it, static_cast<long>(rng.below(alive.size())));
+      ring.erase(id(*it));
+      alive.erase(it);
+    } else {
+      ring.insert(id(fresh), 0, false);
+      alive.insert(fresh++);
+    }
+  }
+  EXPECT_GT(ring.merge_passes(), 0u);
+  EXPECT_EQ(ring.size(), alive.size());
+  std::vector<Uint160> expected;
+  for (const std::uint64_t v : alive) expected.push_back(id(v));
+  EXPECT_EQ(collect(ring), expected);
+  EXPECT_TRUE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, CursorWalksWrapBothDirections) {
+  FlatRing ring = make_ring({10, 20, 30});
+  ring.insert(id(25), 0, false);  // one staged entry in the middle
+  const std::vector<Uint160> order = {id(10), id(20), id(25), id(30)};
+
+  FlatRing::Cursor c = ring.first();
+  for (std::size_t lap = 0; lap < 2 * order.size(); ++lap) {
+    EXPECT_EQ(ring.id_at(c), order[lap % order.size()]) << "lap " << lap;
+    c = ring.next(c);
+  }
+  c = ring.first();
+  for (std::size_t back = 2 * order.size(); back-- > 0;) {
+    c = ring.prev(c);
+    EXPECT_EQ(ring.id_at(c), order[back % order.size()]) << "back " << back;
+  }
+}
+
+TEST(FlatRingTest, CoverReturnsFirstClockwiseOwnerWithWrap) {
+  FlatRing ring = make_ring({10, 20, 30});
+  EXPECT_EQ(ring.id_at(ring.cover(id(10))), id(10));  // exact hit
+  EXPECT_EQ(ring.id_at(ring.cover(id(11))), id(20));  // next clockwise
+  EXPECT_EQ(ring.id_at(ring.cover(id(0))), id(10));
+  EXPECT_EQ(ring.id_at(ring.cover(id(31))), id(10));  // wraps past top
+  EXPECT_EQ(ring.id_at(ring.cover(Uint160::max())), id(10));
+}
+
+TEST(FlatRingTest, CoverSeesStagedAndSkipsTombstoned) {
+  FlatRing ring = make_ring({10, 30});
+  ring.insert(id(20), 0, false);
+  EXPECT_EQ(ring.id_at(ring.cover(id(15))), id(20));  // staged wins
+  ring.erase(id(30));
+  EXPECT_EQ(ring.id_at(ring.cover(id(25))), id(10));  // tombstone skipped
+  EXPECT_TRUE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, IndexConsistentPinsArenaDesync) {
+  FlatRing ring = make_ring({10, 20, 30});
+  ASSERT_TRUE(ring.index_consistent());
+  ASSERT_TRUE(sim::testing::FlatRingCorruptor::desync_arena_id(ring));
+  EXPECT_FALSE(ring.index_consistent());
+}
+
+TEST(FlatRingTest, InterpolatedSearchMatchesPlainSearchAtScale) {
+  // main_lower_bound switches to interpolation-guided probing above 64
+  // entries; find/cover answers must stay identical to the brute-force
+  // ordering for ids anywhere in the 160-bit space, including the skewed
+  // high bits interpolation estimates from.
+  support::Rng rng(4242);
+  std::vector<Uint160> ids;
+  FlatRing ring;
+  ring.reserve(3000);
+  for (int i = 0; i < 3000; ++i) {
+    const Uint160 vid = rng.uniform_u160();
+    ids.push_back(vid);
+    ring.bulk_append(vid, 0, false);
+  }
+  ring.finalize_bulk();
+  std::sort(ids.begin(), ids.end());
+  for (int probe = 0; probe < 2000; ++probe) {
+    const Uint160 point = rng.uniform_u160();
+    auto it = std::lower_bound(ids.begin(), ids.end(), point);
+    const Uint160 expected = it == ids.end() ? ids.front() : *it;
+    EXPECT_EQ(ring.id_at(ring.cover(point)), expected);
+  }
+  for (int probe = 0; probe < 500; ++probe) {
+    const Uint160& member = ids[rng.below(ids.size())];
+    EXPECT_EQ(ring.id_at(ring.find(member)), member);
+  }
+}
+
+}  // namespace
+}  // namespace dhtlb::sim

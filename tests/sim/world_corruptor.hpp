@@ -22,16 +22,22 @@ struct WorldCorruptor {
   /// and at least one stored task).
   static bool orphan_key(World& world) {
     if (world.ring_.size() < 2) return false;
-    auto src = world.ring_.begin();
-    while (src != world.ring_.end() && src->second.tasks.empty()) ++src;
-    if (src == world.ring_.end()) return false;
-    auto dst = std::next(src) == world.ring_.end() ? world.ring_.begin()
-                                                   : std::next(src);
+    FlatRing& ring = world.ring_;
+    FlatRing::Cursor src = ring.first();
+    std::size_t scanned = 0;
+    while (scanned < ring.size() && ring.tasks(ring.slot_at(src)).empty()) {
+      src = ring.next(src);
+      ++scanned;
+    }
+    if (scanned == ring.size()) return false;
+    const FlatRing::Cursor dst = ring.next(src);
+    const Slot src_slot = ring.slot_at(src);
+    const Slot dst_slot = ring.slot_at(dst);
     support::Rng scratch(1);
-    const TaskKey key = src->second.tasks.consume_random(scratch);
-    dst->second.tasks.add(key);
-    --world.physicals_[src->second.owner].workload;
-    ++world.physicals_[dst->second.owner].workload;
+    const TaskKey key = ring.tasks(src_slot).consume_random(scratch);
+    ring.tasks(dst_slot).add(key);
+    --world.physicals_[ring.owner(src_slot)].workload;
+    ++world.physicals_[ring.owner(dst_slot)].workload;
     return true;
   }
 
@@ -60,11 +66,12 @@ struct WorldCorruptor {
       sybil_id = hashing::Sha1::hash_u64(rng());
       acquired = world.create_sybil(creator, sybil_id);
     }
-    VirtualNode& vnode = world.ring_.at(sybil_id);
+    FlatRing& ring = world.ring_;
+    const Slot slot = ring.slot_at(ring.find(sybil_id));
     const NodeIndex dead = world.waiting_.front();
-    world.physicals_[creator].workload -= vnode.tasks.size();
-    world.physicals_[dead].workload += vnode.tasks.size();
-    vnode.owner = dead;
+    world.physicals_[creator].workload -= ring.tasks(slot).size();
+    world.physicals_[dead].workload += ring.tasks(slot).size();
+    ring.set_owner(slot, dead);
     return true;
   }
 
@@ -87,6 +94,27 @@ struct WorldCorruptor {
     world.waiting_.push_back(world.alive_[0]);
     return true;
   }
+
+  /// Desynchronizes the flat ring's slot arena from its sorted index
+  /// (see FlatRingCorruptor).  Target check: index-integrity.
+  static bool desync_ring_index(World& world);
 };
+
+/// Backdoor into FlatRing's private halves (friend of FlatRing), for
+/// corruptions invisible to every public observer: the index keeps
+/// answering queries by its own ids, so only the index-integrity
+/// cross-reference audit can notice the arena disagrees.
+struct FlatRingCorruptor {
+  static bool desync_arena_id(FlatRing& ring) {
+    if (ring.empty()) return false;
+    const Slot slot = ring.slot_at(ring.first());
+    ring.ids_[slot] += Uint160{1};
+    return true;
+  }
+};
+
+inline bool WorldCorruptor::desync_ring_index(World& world) {
+  return FlatRingCorruptor::desync_arena_id(world.ring_);
+}
 
 }  // namespace dhtlb::sim::testing
