@@ -92,7 +92,18 @@ void Telemetry::record(const std::string& cell, const std::string& metric,
   r.seed = support::env_seed();
   r.trials = trials;
   r.peak_rss_bytes = deterministic() ? 0 : peak_rss_bytes;
+  support::MutexLock lock(mu_);
   records_.push_back(std::move(r));
+}
+
+std::vector<Record> Telemetry::records() const {
+  support::MutexLock lock(mu_);
+  return records_;
+}
+
+std::string Telemetry::json() const {
+  support::MutexLock lock(mu_);
+  return to_json(experiment_, records_);
 }
 
 std::uint64_t Telemetry::current_peak_rss_bytes() {
@@ -115,11 +126,17 @@ std::string Telemetry::output_path() const {
 }
 
 bool Telemetry::flush() {
-  if (flushed_) return true;
-  if (!json_enabled()) return false;
-  flushed_ = true;
-
-  std::vector<Record> out = records_;
+  std::vector<Record> out;
+  {
+    support::MutexLock lock(mu_);
+    if (flushed_) return true;
+    if (!json_enabled()) return false;
+    flushed_ = true;
+    out = records_;
+  }
+  // Serialization and the calibration run happen outside the lock:
+  // calibrate_ms() deliberately burns ~10ms of CPU, and nothing below
+  // touches guarded state.
   if (!deterministic()) {
     // Machine-speed yardstick, measured at flush so it reflects this
     // very run's conditions.

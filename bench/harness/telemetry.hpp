@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "support/sync.hpp"
+
 namespace dhtlb::bench {
 
 /// One measurement: a (cell, metric) pair of an experiment.
@@ -79,6 +81,12 @@ class WallTimer {
 /// Collects records for one experiment and writes
 /// `<DHTLB_BENCH_DIR>/BENCH_<experiment>.json` on flush (or
 /// destruction).  Honours the env knobs documented above.
+///
+/// Accumulation is guarded by an internal dhtlb::Mutex (checked by
+/// Clang -Wthread-safety), so record() may be called from worker
+/// threads of a parallel fan; JSON output order is still the exact
+/// record() call order, which callers keep deterministic by recording
+/// from the coordinating thread after each fan completes.
 class Telemetry {
  public:
   explicit Telemetry(std::string experiment);
@@ -92,20 +100,21 @@ class Telemetry {
   /// DHTLB_BENCH_DETERMINISTIC is set.
   void record(const std::string& cell, const std::string& metric,
               double value, double wall_ms, std::uint64_t trials,
-              std::uint64_t peak_rss_bytes = 0);
+              std::uint64_t peak_rss_bytes = 0) EXCLUDES(mu_);
 
   /// This process's peak resident set so far, in bytes (getrusage
   /// ru_maxrss), or 0 where the platform does not report it.  Scale
   /// benches pass this to record() so CI can gate memory regressions.
   static std::uint64_t current_peak_rss_bytes();
 
-  const std::vector<Record>& records() const { return records_; }
-  std::string json() const { return to_json(experiment_, records_); }
+  /// Snapshot of the records accumulated so far.
+  std::vector<Record> records() const EXCLUDES(mu_);
+  std::string json() const EXCLUDES(mu_);
 
   /// Writes the JSON file (prepending a __calibration__ record unless
   /// in deterministic mode).  Returns false on I/O failure or when the
   /// JSON side channel is disabled.  Idempotent.
-  bool flush();
+  bool flush() EXCLUDES(mu_);
 
   /// The path flush() writes to.
   std::string output_path() const;
@@ -115,8 +124,9 @@ class Telemetry {
 
  private:
   std::string experiment_;
-  std::vector<Record> records_;
-  bool flushed_ = false;
+  mutable support::Mutex mu_;
+  std::vector<Record> records_ GUARDED_BY(mu_);
+  bool flushed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dhtlb::bench

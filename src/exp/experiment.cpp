@@ -1,13 +1,41 @@
 #include "exp/experiment.hpp"
 
-#include <mutex>
+#include <iterator>
+#include <utility>
 
 #include "lb/factory.hpp"
 #include "support/rng.hpp"
+#include "support/sync.hpp"
 
 namespace dhtlb::exp {
 
 namespace {
+
+// Per-trial result slots shared between the coordinating thread and the
+// pool workers.  Workers write distinct indices, so a lock is not needed
+// for correctness — it is here so the sharing is *compiler-checked*
+// (GUARDED_BY + -Wthread-safety) instead of by-convention; one
+// uncontended lock per multi-millisecond trial is noise.
+class TrialSlots {
+ public:
+  explicit TrialSlots(std::size_t n) : slots_(n) {}
+
+  void store(std::size_t i, sim::RunResult result) EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    slots_[i] = std::move(result);
+  }
+
+  /// Moves the slots out; call only after the pool barrier (wait_idle /
+  /// parallel_for return) has ordered every store before this read.
+  std::vector<sim::RunResult> take() EXCLUDES(mu_) {
+    support::MutexLock lock(mu_);
+    return std::move(slots_);
+  }
+
+ private:
+  support::Mutex mu_;
+  std::vector<sim::RunResult> slots_ GUARDED_BY(mu_);
+};
 
 // Folds per-trial results into the Aggregate.  Shared by run_trials and
 // run_cells so the two fans produce bit-identical aggregates.
@@ -62,18 +90,18 @@ Aggregate aggregate_results(const sim::Params& params,
 Aggregate run_trials(const sim::Params& params, std::string_view strategy_name,
                      std::size_t trials, std::uint64_t base_seed,
                      support::ThreadPool* pool) {
-  std::vector<sim::RunResult> results(trials);
+  TrialSlots results(trials);
   auto run_one = [&](std::size_t i) {
     sim::Engine engine(params, support::mix_seed(base_seed, i),
                        lb::make_strategy(strategy_name));
-    results[i] = engine.run();
+    results.store(i, engine.run());
   };
   if (pool != nullptr) {
     pool->parallel_for(trials, run_one);
   } else {
     for (std::size_t i = 0; i < trials; ++i) run_one(i);
   }
-  return aggregate_results(params, strategy_name, results);
+  return aggregate_results(params, strategy_name, results.take());
 }
 
 std::vector<Aggregate> run_cells(const std::vector<CellSpec>& cells,
@@ -86,20 +114,19 @@ std::vector<Aggregate> run_cells(const std::vector<CellSpec>& cells,
     std::size_t trial;  // index within the cell, seeds mix(base, trial)
   };
   std::vector<Job> jobs;
-  std::vector<std::vector<sim::RunResult>> results(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    results[c].resize(cells[c].trials);
     for (std::size_t t = 0; t < cells[c].trials; ++t) {
       jobs.push_back(Job{c, t});
     }
   }
+  TrialSlots results(jobs.size());
 
   auto run_one = [&](std::size_t j) {
     const Job& job = jobs[j];
     const CellSpec& cell = cells[job.cell];
     sim::Engine engine(cell.params, support::mix_seed(base_seed, job.trial),
                        lb::make_strategy(cell.strategy));
-    results[job.cell][job.trial] = engine.run();
+    results.store(j, engine.run());
   };
   if (pool != nullptr) {
     pool->parallel_for(jobs.size(), run_one);
@@ -107,11 +134,22 @@ std::vector<Aggregate> run_cells(const std::vector<CellSpec>& cells,
     for (std::size_t j = 0; j < jobs.size(); ++j) run_one(j);
   }
 
+  // Scatter the flat job results back into per-cell vectors; jobs were
+  // appended cell-major, so each cell's trials are a contiguous slice.
+  std::vector<sim::RunResult> flat = results.take();
   std::vector<Aggregate> aggregates;
   aggregates.reserve(cells.size());
-  for (std::size_t c = 0; c < cells.size(); ++c) {
+  std::size_t next = 0;
+  for (const CellSpec& cell : cells) {
+    std::vector<sim::RunResult> cell_results(
+        std::make_move_iterator(flat.begin() +
+                                static_cast<std::ptrdiff_t>(next)),
+        std::make_move_iterator(flat.begin() +
+                                static_cast<std::ptrdiff_t>(next +
+                                                            cell.trials)));
+    next += cell.trials;
     aggregates.push_back(
-        aggregate_results(cells[c].params, cells[c].strategy, results[c]));
+        aggregate_results(cell.params, cell.strategy, cell_results));
   }
   return aggregates;
 }

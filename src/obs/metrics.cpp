@@ -42,17 +42,20 @@ MetricsRegistry::Id MetricsRegistry::intern(std::string_view name,
 
 MetricsRegistry::Id MetricsRegistry::counter(std::string_view name,
                                              std::string_view unit) {
+  support::MutexLock lock(mu_);
   return intern(name, unit, Kind::kCounter);
 }
 
 MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name,
                                            std::string_view unit) {
+  support::MutexLock lock(mu_);
   return intern(name, unit, Kind::kGauge);
 }
 
 MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name,
                                                std::string_view unit,
                                                std::vector<double> bounds) {
+  support::MutexLock lock(mu_);
   DHTLB_CHECK(std::is_sorted(bounds.begin(), bounds.end()) &&
                     std::adjacent_find(bounds.begin(), bounds.end()) ==
                         bounds.end(),
@@ -70,6 +73,7 @@ MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::add(Id id, double delta) {
+  support::MutexLock lock(mu_);
   DHTLB_CHECK(id < instruments_.size(), "unknown metric id");
   DHTLB_CHECK(instruments_[id].kind == Kind::kCounter,
                 "add() is only valid on counters");
@@ -78,6 +82,7 @@ void MetricsRegistry::add(Id id, double delta) {
 }
 
 void MetricsRegistry::set(Id id, double value) {
+  support::MutexLock lock(mu_);
   DHTLB_CHECK(id < instruments_.size(), "unknown metric id");
   DHTLB_CHECK(instruments_[id].kind == Kind::kGauge,
                 "set() is only valid on gauges");
@@ -85,6 +90,7 @@ void MetricsRegistry::set(Id id, double value) {
 }
 
 void MetricsRegistry::observe(Id id, double value) {
+  support::MutexLock lock(mu_);
   DHTLB_CHECK(id < instruments_.size(), "unknown metric id");
   Instrument& inst = instruments_[id];
   DHTLB_CHECK(inst.kind == Kind::kHistogram,
@@ -147,6 +153,7 @@ void MetricsRegistry::emit_row(const Instrument& inst, std::uint64_t tick) {
 }
 
 void MetricsRegistry::sample(std::uint64_t tick) {
+  support::MutexLock lock(mu_);
   for (const Id id : by_name_) {
     Instrument& inst = instruments_[id];
     emit_row(inst, tick);
@@ -155,15 +162,30 @@ void MetricsRegistry::sample(std::uint64_t tick) {
       inst.sum = 0.0;
     }
   }
-  if (++samples_since_flush_ >= flush_every_) flush();
+  if (++samples_since_flush_ >= flush_every_) flush_locked();
 }
 
 void MetricsRegistry::flush() {
+  support::MutexLock lock(mu_);
+  flush_locked();
+}
+
+void MetricsRegistry::flush_locked() {
   samples_since_flush_ = 0;
   if (buffer_.empty()) return;
   out_ << buffer_;
   out_.flush();
   buffer_.clear();
+}
+
+std::size_t MetricsRegistry::instrument_count() const {
+  support::MutexLock lock(mu_);
+  return instruments_.size();
+}
+
+std::uint64_t MetricsRegistry::rows_written() const {
+  support::MutexLock lock(mu_);
+  return rows_;
 }
 
 }  // namespace dhtlb::obs

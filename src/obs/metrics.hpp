@@ -19,6 +19,13 @@
 // Like TraceSink, the registry is only ever touched behind a null-
 // pointer branch at the producer, so a run without --metrics pays one
 // predictable branch per tick and allocates nothing.
+//
+// Thread safety: all state is guarded by an internal dhtlb::Mutex
+// (compiler-checked via -Wthread-safety; see support/sync.hpp), so
+// producers on different shards of the planned parallel tick engine
+// can add()/observe() concurrently.  sample() still defines the
+// serialization point: callers must sample from one thread at a tick
+// boundary for rows to land in deterministic tick order.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +34,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace dhtlb::obs {
 
@@ -47,26 +56,26 @@ class MetricsRegistry {
   /// Registration is idempotent: re-registering a name returns the
   /// existing instrument (the kind and unit must match — a mismatch is
   /// a contract violation).
-  Id counter(std::string_view name, std::string_view unit);
-  Id gauge(std::string_view name, std::string_view unit);
+  Id counter(std::string_view name, std::string_view unit) EXCLUDES(mu_);
+  Id gauge(std::string_view name, std::string_view unit) EXCLUDES(mu_);
   /// `bounds` are the inclusive upper bucket edges, strictly
   /// increasing; a final +inf bucket is implicit.
   Id histogram(std::string_view name, std::string_view unit,
-               std::vector<double> bounds);
+               std::vector<double> bounds) EXCLUDES(mu_);
 
-  void add(Id id, double delta);      // counters
-  void set(Id id, double value);      // gauges
-  void observe(Id id, double value);  // histograms
+  void add(Id id, double delta) EXCLUDES(mu_);      // counters
+  void set(Id id, double value) EXCLUDES(mu_);      // gauges
+  void observe(Id id, double value) EXCLUDES(mu_);  // histograms
 
   /// Emits one row per instrument for `tick` (instruments in name
   /// order), then resets histograms.
-  void sample(std::uint64_t tick);
+  void sample(std::uint64_t tick) EXCLUDES(mu_);
 
   /// Writes buffered rows through to the stream.
-  void flush();
+  void flush() EXCLUDES(mu_);
 
-  std::size_t instrument_count() const { return instruments_.size(); }
-  std::uint64_t rows_written() const { return rows_; }
+  std::size_t instrument_count() const EXCLUDES(mu_);
+  std::uint64_t rows_written() const EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -81,16 +90,19 @@ class MetricsRegistry {
     double sum = 0.0;                 // histogram per-tick sum
   };
 
-  Id intern(std::string_view name, std::string_view unit, Kind kind);
-  void emit_row(const Instrument& inst, std::uint64_t tick);
+  Id intern(std::string_view name, std::string_view unit, Kind kind)
+      REQUIRES(mu_);
+  void emit_row(const Instrument& inst, std::uint64_t tick) REQUIRES(mu_);
+  void flush_locked() REQUIRES(mu_);
 
   std::ostream& out_;
   std::size_t flush_every_;
-  std::size_t samples_since_flush_ = 0;
-  std::vector<Instrument> instruments_;
-  std::vector<Id> by_name_;  // instrument ids sorted by name
-  std::string buffer_;
-  std::uint64_t rows_ = 0;
+  mutable support::Mutex mu_;
+  std::size_t samples_since_flush_ GUARDED_BY(mu_) = 0;
+  std::vector<Instrument> instruments_ GUARDED_BY(mu_);
+  std::vector<Id> by_name_ GUARDED_BY(mu_);  // ids sorted by name
+  std::string buffer_ GUARDED_BY(mu_);
+  std::uint64_t rows_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dhtlb::obs

@@ -27,8 +27,19 @@ TraceSink::TraceSink(std::ostream& out) : out_(out) {
 TraceSink::~TraceSink() { close(); }
 
 void TraceSink::set_tick(std::uint64_t tick) {
+  support::MutexLock lock(mu_);
   tick_ = tick;
   seq_ = 0;
+}
+
+std::uint64_t TraceSink::tick() const {
+  support::MutexLock lock(mu_);
+  return tick_;
+}
+
+std::uint64_t TraceSink::event_count() const {
+  support::MutexLock lock(mu_);
+  return events_;
 }
 
 void TraceSink::begin_event(std::string_view name, std::string_view category,
@@ -66,6 +77,7 @@ void TraceSink::end_event() {
 
 void TraceSink::instant(std::string_view name, std::string_view category,
                         std::initializer_list<Arg> args) {
+  support::MutexLock lock(mu_);
   if (closed_) return;
   begin_event(name, category, 'i', tick_ * kTickUs + seq_);
   ++seq_;
@@ -76,6 +88,7 @@ void TraceSink::instant(std::string_view name, std::string_view category,
 
 void TraceSink::complete_tick(std::string_view name,
                               std::initializer_list<Arg> args) {
+  support::MutexLock lock(mu_);
   if (closed_) return;
   begin_event(name, "tick", 'X', tick_ * kTickUs);
   line_ += ",\"dur\":";
@@ -85,6 +98,7 @@ void TraceSink::complete_tick(std::string_view name,
 }
 
 void TraceSink::counter(std::string_view name, double value) {
+  support::MutexLock lock(mu_);
   if (closed_) return;
   begin_event(name, "metric", 'C', tick_ * kTickUs + seq_);
   ++seq_;
@@ -95,6 +109,7 @@ void TraceSink::counter(std::string_view name, double value) {
 }
 
 void TraceSink::close() {
+  support::MutexLock lock(mu_);
   if (closed_) return;
   closed_ = true;
   out_ << (events_ == 0 ? "]}\n" : "\n]}\n");

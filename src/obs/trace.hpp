@@ -20,6 +20,14 @@
 //                          decisions, sybil spawn/quit, RPC send/drop/
 //                          delay/duplicate, delayed-notify delivery
 //   ph "C" counters      — per-tick series chrome plots as graphs
+//
+// Thread safety: sink state (the virtual clock, the line buffer, the
+// event counter) is guarded by an internal dhtlb::Mutex, checked by
+// Clang -Wthread-safety (support/sync.hpp).  Concurrent producers get
+// whole events — never interleaved bytes — but within-tick emission
+// order is scheduling-dependent, so deterministic traces require the
+// per-tick serialization the engine already provides (and the planned
+// parallel tick engine will fold shard events at the tick barrier).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,8 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+
+#include "support/sync.hpp"
 
 namespace dhtlb::obs {
 
@@ -74,40 +84,41 @@ class TraceSink {
   /// ts = tick * 1e6 + sequence (µs, so one tick spans one virtual
   /// second), making events sort by (tick, emission order) — the only
   /// clock in the file.
-  void set_tick(std::uint64_t tick);
-  std::uint64_t tick() const { return tick_; }
+  void set_tick(std::uint64_t tick) EXCLUDES(mu_);
+  std::uint64_t tick() const EXCLUDES(mu_);
 
   /// ph "i" instant event at the current (tick, sequence) position.
   void instant(std::string_view name, std::string_view category,
-               std::initializer_list<Arg> args = {});
+               std::initializer_list<Arg> args = {}) EXCLUDES(mu_);
 
   /// ph "X" complete span covering the whole current tick.  Emitted
   /// after the tick's instants; chrome orders by ts, not file order.
   void complete_tick(std::string_view name,
-                     std::initializer_list<Arg> args = {});
+                     std::initializer_list<Arg> args = {}) EXCLUDES(mu_);
 
   /// ph "C" counter sample; chrome plots each name as a series.
-  void counter(std::string_view name, double value);
+  void counter(std::string_view name, double value) EXCLUDES(mu_);
 
   /// Writes the document footer.  Idempotent; further events are
   /// silently dropped once closed.
-  void close();
+  void close() EXCLUDES(mu_);
 
   /// Events emitted so far (tests and flush heuristics).
-  std::uint64_t event_count() const { return events_; }
+  std::uint64_t event_count() const EXCLUDES(mu_);
 
  private:
   void begin_event(std::string_view name, std::string_view category,
-                   char phase, std::uint64_t ts);
-  void append_args(std::initializer_list<Arg> args);
-  void end_event();
+                   char phase, std::uint64_t ts) REQUIRES(mu_);
+  void append_args(std::initializer_list<Arg> args) REQUIRES(mu_);
+  void end_event() REQUIRES(mu_);
 
   std::ostream& out_;
-  std::string line_;  // reused per-event buffer
-  std::uint64_t tick_ = 0;
-  std::uint64_t seq_ = 0;
-  std::uint64_t events_ = 0;
-  bool closed_ = false;
+  mutable support::Mutex mu_;
+  std::string line_ GUARDED_BY(mu_);  // reused per-event buffer
+  std::uint64_t tick_ GUARDED_BY(mu_) = 0;
+  std::uint64_t seq_ GUARDED_BY(mu_) = 0;
+  std::uint64_t events_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dhtlb::obs

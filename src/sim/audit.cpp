@@ -245,6 +245,8 @@ void InvariantAuditor::check_membership(AuditReport& report) const {
          << " physical nodes";
     });
   }
+  // Duplicate-membership probe: insert() results only, never iterated.
+  // dhtlb:lint-allow(unordered-iteration)
   std::unordered_set<NodeIndex> seen;
   auto visit = [&](const std::vector<NodeIndex>& list, bool expect_alive,
                    const char* label) {

@@ -22,6 +22,9 @@ struct IdHash {
     return static_cast<std::size_t>(id.low64());
   }
 };
+// Probed with contains()/insert() only, never iterated, so the
+// unordered layout cannot reach outputs.
+// dhtlb:lint-allow(unordered-iteration)
 using IdSet = std::unordered_set<Uint160, IdHash>;
 
 }  // namespace

@@ -5,15 +5,20 @@
 // execution order or degree of parallelism.  This pool provides exactly
 // what that needs — submit, wait-for-all, and a parallel_for convenience —
 // and nothing speculative (no futures-of-futures, no priorities).
+//
+// Locking discipline is compiler-checked: the queue and its bookkeeping
+// are GUARDED_BY(mutex_), so a Clang -Wthread-safety build rejects any
+// future code path that touches them unlocked (see support/sync.hpp).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace dhtlb::support {
 
@@ -34,28 +39,29 @@ class ThreadPool {
   /// exception's what(), when it has one), and the process aborts
   /// deterministically (simulation code reports errors through return
   /// values, not exceptions crossing thread boundaries).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
   /// until all iterations complete.  fn must be safe to call concurrently
   /// for distinct i.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;  // queued + currently executing
-  bool stopping_ = false;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;  // queued + executing
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dhtlb::support

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/thread_pool.hpp"
+
 namespace dhtlb::bench {
 namespace {
 
@@ -181,6 +183,24 @@ TEST(Telemetry, FlushWritesFileToBenchDir) {
             std::string::npos);
   EXPECT_NE(buf.str().find("\"value\": 3"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// Telemetry is mutex-guarded (support/sync.hpp) so parallel bench cells
+// can record concurrently: the fan must lose no records, and records()
+// returns a consistent snapshot.
+TEST(Telemetry, ConcurrentRecordsAreAllKept) {
+  ScopedEnv det("DHTLB_BENCH_DETERMINISTIC", "1");
+  ScopedEnv nojson("DHTLB_BENCH_JSON", "0");
+  Telemetry t("unit");
+  constexpr std::size_t kTasks = 8;
+  constexpr int kRecordsPerTask = 500;
+  support::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t task) {
+    for (int i = 0; i < kRecordsPerTask; ++i) {
+      t.record("cell/" + std::to_string(task), "m", 1.0, 0.0, 1);
+    }
+  });
+  EXPECT_EQ(t.records().size(), kTasks * kRecordsPerTask);
 }
 
 TEST(Telemetry, JsonKnobDisablesFlush) {

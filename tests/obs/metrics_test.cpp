@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/thread_pool.hpp"
+
 namespace dhtlb::obs {
 namespace {
 
@@ -143,6 +145,24 @@ TEST(MetricsRegistry, FlushCadenceDoesNotChangeBytes) {
   };
   EXPECT_EQ(run(1), run(32));
   EXPECT_EQ(run(32), run(1000));
+}
+
+// The registry is mutex-guarded (support/sync.hpp): concurrent add()
+// from a worker pool must lose no increments, and a flush after the fan
+// joins must render the exact total.
+TEST(MetricsRegistry, ConcurrentAddsAreExact) {
+  std::ostringstream out;
+  MetricsRegistry m(out);
+  const auto id = m.counter("work_done", "tasks");
+  constexpr std::size_t kTasks = 8;
+  constexpr int kAddsPerTask = 10'000;
+  support::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    for (int i = 0; i < kAddsPerTask; ++i) m.add(id, 1.0);
+  });
+  m.sample(1);
+  m.flush();
+  EXPECT_NE(out.str().find("\"value\":80000"), std::string::npos);
 }
 
 TEST(MetricsRegistry, DoublesPrintRoundTrippable) {

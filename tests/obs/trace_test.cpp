@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/thread_pool.hpp"
+
 namespace dhtlb::obs {
 namespace {
 
@@ -130,6 +132,28 @@ TEST(TraceSink, OneEventPerLine) {
   }
   // header+3 events+footer: events each start on their own line.
   EXPECT_EQ(lines, 5u);
+}
+
+// The sink is mutex-guarded (support/sync.hpp): a concurrent fan of
+// instants must drop nothing.  (Cross-thread event ORDER is whatever the
+// interleaving was — deterministic byte output remains the caller's job,
+// which is why engine emission stays single-threaded — but the count and
+// document structure must be exact.)
+TEST(TraceSink, ConcurrentInstantsAreAllRecorded) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.set_tick(1);
+  constexpr std::size_t kTasks = 8;
+  constexpr int kEventsPerTask = 1'000;
+  support::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    for (int i = 0; i < kEventsPerTask; ++i) sink.instant("e", "test");
+  });
+  EXPECT_EQ(sink.event_count(), kTasks * kEventsPerTask);
+  sink.close();
+  // Still a well-formed document: header + events + footer.
+  EXPECT_NE(out.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(out.str().back(), '\n');
 }
 
 TEST(TraceSink, EqualSequencesProduceEqualBytes) {

@@ -1,0 +1,25 @@
+// Violation shape 3: calling a REQUIRES(mu) function without holding
+// mu.  -Wthread-safety must reject this translation unit.
+#include "support/sync.hpp"
+
+namespace {
+
+class Store {
+ public:
+  void apply() REQUIRES(mu_) { ++value_; }
+
+  // BAD: calls the REQUIRES function with mu_ not held.
+  void apply_unlocked() { apply(); }
+
+ private:
+  dhtlb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store s;
+  s.apply_unlocked();
+  return 0;
+}

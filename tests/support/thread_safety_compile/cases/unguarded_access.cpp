@@ -1,0 +1,24 @@
+// Violation shape 1: touching GUARDED_BY state without holding its
+// mutex.  -Wthread-safety must reject this translation unit; the
+// try_compile driver asserts it does.
+#include "support/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: writes value_ with mu_ not held.
+  void bump() { ++value_; }
+
+ private:
+  dhtlb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Violation shape 2: releasing a capability that is not held.
+// -Wthread-safety must reject this translation unit.
+#include "support/sync.hpp"
+
+int main() {
+  dhtlb::Mutex mu;
+  // BAD: unlock without a matching lock.
+  mu.unlock();
+  return 0;
+}
