@@ -1,0 +1,139 @@
+// tableD_dense_scale — the dense experiment lane: every paper strategy,
+// multi-trial, under churn, at scale.
+//
+// This is what the nightly 1M smoke test grows into once the tick loop
+// is parallel (ROADMAP: "dense experiments instead of a smoke test").
+// Each (strategy, trial) cell builds a fresh world and runs a fixed
+// churn horizon, recording load-balance outcomes at the horizon rather
+// than runtime-to-completion — at nightly scale the interesting question
+// is "how balanced is the ring while work is flowing", and a bounded
+// horizon keeps the lane's wall time predictable across strategies.
+//
+// Env knobs: DHTLB_DENSE_NODES (default 10k; nightly sets 100k — at
+// 1M the strategies' Sybil populations under sustained overload blow
+// past a CI runner's memory, see EXPERIMENTS.md), DHTLB_DENSE_TICKS
+// (default 100), DHTLB_TRIALS, DHTLB_SEED, DHTLB_THREADS (nightly
+// sets 0 = all cores; outputs are thread-count independent so the
+// committed baseline still gates values bit-for-bit).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/telemetry.hpp"
+#include "lb/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/params.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/load_metrics.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dhtlb;
+
+}  // namespace
+
+int main() {
+  bench::Telemetry telemetry("tableD_dense_scale");
+  const std::uint64_t base_seed = support::env_seed();
+  const std::size_t nodes = static_cast<std::size_t>(
+      support::env_u64("DHTLB_DENSE_NODES", 10'000));
+  const std::uint64_t horizon = support::env_u64("DHTLB_DENSE_TICKS", 100);
+  const std::uint64_t trials = support::env_trials(3);
+  const std::size_t threads = support::env_threads();
+
+  std::printf("=== tableD_dense_scale — all strategies under churn ===\n");
+  std::printf("%zu nodes, %llu-tick horizon, %llu trial(s), seed %llu\n\n",
+              nodes, static_cast<unsigned long long>(horizon),
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(base_seed));
+
+  support::TextTable table({"strategy", "done frac", "gini", "stddev",
+                            "joins+leaves", "wall ms"});
+
+  // "none" covers the churn-only baseline (every cell here churns);
+  // everything else is the full paper + extension strategy set.
+  std::vector<std::string_view> strategies;
+  strategies.push_back("none");
+  for (const auto name : lb::strategy_names()) {
+    if (name != "none" && name != "churn") strategies.push_back(name);
+  }
+  for (const auto name : lb::extension_strategy_names()) {
+    strategies.push_back(name);
+  }
+
+  for (const auto strategy : strategies) {
+    const bench::WallTimer strategy_timer;
+    stats::RunningStats done_frac;
+    stats::RunningStats gini;
+    stats::RunningStats stddev;
+    std::uint64_t churn_events = 0;
+
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+      sim::Params p;
+      p.initial_nodes = nodes;
+      // Twice the horizon's aggregate capacity: the ring is still under
+      // load when we measure, so the balance metrics see live imbalance
+      // rather than a drained ring.
+      p.total_tasks = 2 * nodes * horizon;
+      p.churn_rate = 0.02;
+      p.max_ticks = horizon;
+
+      sim::Engine engine(p, support::mix_seed(base_seed, trial),
+                         lb::make_strategy(strategy));
+      engine.set_audit(false);
+      engine.set_threads(threads);
+      // Hold the horizon even if the task pool drains: the lane measures
+      // the ring under sustained churn, not time-to-completion.
+      engine.set_pre_tick_hook(
+          [horizon](std::uint64_t tick) { return tick <= horizon; });
+      const sim::RunResult result = engine.run();
+
+      const sim::World& world = engine.world();
+      const std::vector<std::uint64_t> loads = world.alive_workloads();
+      stats::RunningStats spread;
+      for (const std::uint64_t load : loads) {
+        spread.add(static_cast<double>(load));
+      }
+      const double total = static_cast<double>(world.total_tasks());
+      done_frac.add(
+          total == 0.0
+              ? 1.0
+              : (total - static_cast<double>(world.remaining_tasks())) /
+                    total);
+      gini.add(stats::gini(loads));
+      stddev.add(spread.stddev());
+      churn_events += result.joins + result.leaves;
+    }
+
+    const double wall = strategy_timer.elapsed_ms();
+    const std::uint64_t rss = bench::Telemetry::current_peak_rss_bytes();
+    const bool det = bench::Telemetry::deterministic();
+    const std::string cell =
+        "s=" + std::string(strategy) + "/n=" + std::to_string(nodes);
+    telemetry.record(cell, "done_frac_mean", done_frac.mean(), wall, trials,
+                     rss);
+    telemetry.record(cell, "gini_mean", gini.mean(), 0.0, trials);
+    telemetry.record(cell, "workload_stddev_mean", stddev.mean(), 0.0,
+                     trials);
+    telemetry.record(cell, "churn_events",
+                     static_cast<double>(churn_events), 0.0, trials);
+    telemetry.record(cell, "wall_ms", det ? 0.0 : wall, wall, trials, rss);
+
+    table.add_row({std::string(strategy),
+                   support::format_fixed(done_frac.mean(), 4),
+                   support::format_fixed(gini.mean(), 4),
+                   support::format_fixed(stddev.mean(), 2),
+                   std::to_string(churn_events),
+                   support::format_fixed(wall, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (telemetry.flush()) {
+    std::printf("[telemetry] wrote %s\n", telemetry.output_path().c_str());
+  }
+  return 0;
+}

@@ -54,6 +54,9 @@ int main() {
     const double construct_ms = construct_timer.elapsed_ms();
 
     engine.set_audit(false);
+    // The tick loop fans shard work across DHTLB_THREADS workers; the
+    // recorded outputs are thread-count independent, only wall time moves.
+    engine.set_threads(support::env_threads());
     // Keep ticking through the full 100 even if the (small) task load
     // drains early — churn keeps the ring mutating either way.
     engine.set_pre_tick_hook([](std::uint64_t tick) { return tick <= 100; });

@@ -1,0 +1,139 @@
+// tick_parallel — thread-scaling curve of the sharded parallel tick
+// engine (DESIGN.md "Parallel tick engine").
+//
+// For each world size (100k vnodes always; 1M when DHTLB_SCALE_MAX_NODES
+// allows, as in tableS_scale) the same (params, seed) world is churned
+// for a fixed number of ticks at 1, 2, 4, and 8 worker threads.  The
+// thread counts are set explicitly per cell — DHTLB_THREADS does not
+// apply here — because the curve itself is the measurement.
+//
+// Telemetry per (n, threads) cell:
+//   wall_ms        the tick-loop wall time (gated vs baseline in CI)
+//   speedup_vs_t1  wall(t1) / wall(tN); zeroed in deterministic mode and
+//                  exempt from value checks (it is a ratio of clocks).
+//                  The nightly lane gates the best of these with
+//                  compare_bench.py --min-speedup.
+// plus one state_fingerprint per n: a fold of the post-run snapshot
+// (workloads, remaining tasks, membership counts).  The binary aborts if
+// any thread count produces a different fingerprint — every run of this
+// bench is therefore also a 1-vs-N determinism check — and the recorded
+// value lets compare_bench --check-values enforce the same identity
+// against the committed baseline across machines.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/telemetry.hpp"
+#include "sim/engine.hpp"
+#include "sim/params.hpp"
+#include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dhtlb;
+
+/// Order-sensitive fold of everything a run changed in the world: any
+/// divergence between thread counts — a reordered alive list, one extra
+/// RNG draw, a task consumed by the wrong node — changes it.
+std::uint64_t fingerprint(const sim::Engine& engine) {
+  const sim::Snapshot snap = engine.capture(engine.current_tick());
+  std::uint64_t h = support::mix_seed(snap.remaining_tasks, snap.tick);
+  h = support::mix_seed(h, snap.vnode_count);
+  h = support::mix_seed(h, snap.alive_count);
+  for (const std::uint64_t load : snap.workloads) {
+    h = support::mix_seed(h, load);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  bench::Telemetry telemetry("tick_parallel");
+  const std::uint64_t seed = support::env_seed();
+  const std::size_t max_nodes = static_cast<std::size_t>(
+      support::env_u64("DHTLB_SCALE_MAX_NODES", 100'000));
+  std::printf("=== tick_parallel — sharded tick engine thread scaling ===\n");
+  std::printf("cap: %zu nodes (override with DHTLB_SCALE_MAX_NODES), "
+              "seed %llu, %zu ring shards\n\n",
+              max_nodes, static_cast<unsigned long long>(seed),
+              sim::kTickShards);
+
+  support::TextTable table(
+      {"vnodes", "threads", "ticks", "wall ms", "speedup", "fingerprint"});
+
+  for (const std::size_t nodes :
+       {std::size_t{100'000}, std::size_t{1'000'000}}) {
+    if (nodes > max_nodes) {
+      std::printf("(skipping %zu vnodes: above DHTLB_SCALE_MAX_NODES)\n",
+                  nodes);
+      continue;
+    }
+    // Churn-heavy so every tick exercises the full shard pipeline:
+    // parallel departure draws, the sequential cross-arc fold, joins
+    // splitting foreign arcs, and parallel consumption.
+    sim::Params p;
+    p.initial_nodes = nodes;
+    p.total_tasks = 2 * nodes;
+    p.churn_rate = 0.02;
+    const int ticks = nodes >= 1'000'000 ? 15 : 40;
+
+    double wall_t1 = 0.0;
+    std::uint64_t print_t1 = 0;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      sim::Engine engine(p, seed);
+      engine.set_audit(false);
+      engine.set_threads(threads);
+      engine.set_pre_tick_hook(
+          [ticks](std::uint64_t tick) {
+            return tick <= static_cast<std::uint64_t>(ticks);
+          });
+      const bench::WallTimer timer;
+      for (int t = 0; t < ticks; ++t) {
+        if (!engine.step()) break;
+      }
+      const double wall = timer.elapsed_ms();
+      const std::uint64_t print = fingerprint(engine);
+      const std::uint64_t rss = bench::Telemetry::current_peak_rss_bytes();
+
+      if (threads == 1) {
+        wall_t1 = wall;
+        print_t1 = print;
+      }
+      DHTLB_CHECK(print == print_t1,
+                  "tick_parallel: state fingerprint diverged at "
+                      << threads << " threads (n=" << nodes
+                      << ") — the engine's outputs depend on thread count");
+
+      const double speedup = wall > 0.0 ? wall_t1 / wall : 0.0;
+      const bool det = bench::Telemetry::deterministic();
+      const std::string cell =
+          "n=" + std::to_string(nodes) + "/t" + std::to_string(threads);
+      telemetry.record(cell, "wall_ms", det ? 0.0 : wall, wall, 1, rss);
+      telemetry.record(cell, "speedup_vs_t1", det ? 0.0 : speedup, 0.0, 1);
+      table.add_row({std::to_string(nodes), std::to_string(threads),
+                     std::to_string(ticks),
+                     support::format_fixed(wall, 1),
+                     support::format_fixed(speedup, 2),
+                     std::to_string(print & 0xFFFFFFFFFFFFFull)});
+    }
+    // The fingerprint is identical across thread counts (checked above);
+    // record it once per world size.  The low 53 bits fit a double
+    // exactly, so the JSON round-trip is lossless and --check-values can
+    // require bit-equality against the committed baseline.
+    telemetry.record("n=" + std::to_string(nodes), "state_fingerprint",
+                     static_cast<double>(print_t1 & 0x1FFFFFFFFFFFFFull),
+                     0.0, 1);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (telemetry.flush()) {
+    std::printf("[telemetry] wrote %s\n", telemetry.output_path().c_str());
+  }
+  return 0;
+}

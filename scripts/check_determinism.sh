@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Determinism gate: two runs of examples/strategy_comparison with the
-# same seed must produce byte-identical output, including one run at a
-# different parallelism level (trials are deterministic functions of
-# (base_seed, trial_index), so the thread count must not matter).
+# Determinism gate: the same seed must produce byte-identical output at
+# every worker-thread count.  With the sharded parallel tick engine
+# (DESIGN.md "Parallel tick engine") this is the repo's core contract:
+# trials are deterministic functions of (base_seed, trial_index), tick
+# outcomes of (seed, tick, shard) — DHTLB_THREADS must be inert.
 #
-# Also diffs one reduced-trial bench binary's BENCH_*.json telemetry
-# across DHTLB_THREADS=1 vs 4 (with DHTLB_BENCH_DETERMINISTIC=1 so
-# wall_ms is zeroed): the batched trial fan must produce byte-identical
-# structured output at any parallelism.
+# Four artifact families are checked across the thread matrix
+# (default 1 2 8 — single-threaded reference, first parallel split,
+# oversubscribed):
+#   * examples/strategy_comparison text output (plus a repeat run at
+#     the reference count, catching nondeterminism unrelated to threads)
+#   * one reduced-trial bench binary's BENCH_*.json telemetry
+#     (DHTLB_BENCH_DETERMINISTIC=1 zeroes wall_ms)
+#   * a canned scenario's telemetry JSON
+#   * the scenario's trace + metrics observability artifacts, plus the
+#     sinks-attached run's telemetry vs the plain run's (observation
+#     must not perturb the simulation)
 #
 # Usage: scripts/check_determinism.sh [build_dir] [nodes] [tasks] [trials]
 # build_dir defaults to $DHTLB_BUILD_DIR when set (so wrappers with an
 # existing configured tree need no positional argument), else "build".
+# DHTLB_THREAD_MATRIX overrides the thread counts (space-separated;
+# the first entry is the reference all others are compared against).
 # Exit 0 on success, 1 on a determinism break, 2 when the binary is missing.
 set -euo pipefail
 
@@ -19,6 +29,8 @@ BUILD_DIR="${1:-${DHTLB_BUILD_DIR:-build}}"
 NODES="${2:-100}"
 TASKS="${3:-10000}"
 TRIALS="${4:-3}"
+THREAD_MATRIX=(${DHTLB_THREAD_MATRIX:-1 2 8})
+REF="${THREAD_MATRIX[0]}"
 BIN="$BUILD_DIR/examples/strategy_comparison"
 
 if [[ ! -x "$BIN" ]]; then
@@ -32,98 +44,93 @@ trap 'rm -rf "$workdir"' EXIT
 
 export DHTLB_SEED=3735928559
 
-echo "check_determinism: run A (default threads)"
-"$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/run_a.txt"
-echo "check_determinism: run B (default threads)"
-"$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/run_b.txt"
-echo "check_determinism: run C (single thread)"
-DHTLB_THREADS=1 "$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/run_c.txt"
-
 fail=0
-if ! cmp -s "$workdir/run_a.txt" "$workdir/run_b.txt"; then
-  echo "check_determinism: FAIL — repeated run differs with the same seed" >&2
-  diff -u "$workdir/run_a.txt" "$workdir/run_b.txt" >&2 || true
-  fail=1
-fi
-if ! cmp -s "$workdir/run_a.txt" "$workdir/run_c.txt"; then
-  echo "check_determinism: FAIL — output depends on the thread count" >&2
-  diff -u "$workdir/run_a.txt" "$workdir/run_c.txt" >&2 || true
-  fail=1
-fi
 
-# Bench telemetry determinism: the batched trial fan must emit the same
-# JSON records regardless of the worker-thread count.
-BENCH_BIN="$BUILD_DIR/bench/table2_churn"
-if [[ -x "$BENCH_BIN" ]]; then
-  mkdir -p "$workdir/bench1" "$workdir/bench4"
-  echo "check_determinism: bench telemetry (1 thread)"
-  DHTLB_THREADS=1 DHTLB_TRIALS=1 DHTLB_BENCH_DETERMINISTIC=1 \
-    DHTLB_BENCH_DIR="$workdir/bench1" "$BENCH_BIN" > /dev/null
-  echo "check_determinism: bench telemetry (4 threads)"
-  DHTLB_THREADS=4 DHTLB_TRIALS=1 DHTLB_BENCH_DETERMINISTIC=1 \
-    DHTLB_BENCH_DIR="$workdir/bench4" "$BENCH_BIN" > /dev/null
-  if ! cmp -s "$workdir/bench1/BENCH_table2_churn.json" \
-              "$workdir/bench4/BENCH_table2_churn.json"; then
-    echo "check_determinism: FAIL — bench JSON depends on thread count" >&2
-    diff -u "$workdir/bench1/BENCH_table2_churn.json" \
-            "$workdir/bench4/BENCH_table2_churn.json" >&2 || true
+# compare <reference> <candidate> <message>
+compare() {
+  if ! cmp -s "$1" "$2"; then
+    echo "check_determinism: FAIL — $3" >&2
+    diff -u "$1" "$2" >&2 || true
     fail=1
   fi
+}
+
+echo "check_determinism: thread matrix: ${THREAD_MATRIX[*]} (ref t$REF)"
+
+# Example output: repeat run at the reference count, then the matrix.
+echo "check_determinism: strategy_comparison (t$REF, run A)"
+DHTLB_THREADS="$REF" "$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/ex_ref.txt"
+echo "check_determinism: strategy_comparison (t$REF, run B)"
+DHTLB_THREADS="$REF" "$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/ex_rep.txt"
+compare "$workdir/ex_ref.txt" "$workdir/ex_rep.txt" \
+  "repeated run differs with the same seed"
+for t in "${THREAD_MATRIX[@]:1}"; do
+  echo "check_determinism: strategy_comparison (t$t)"
+  DHTLB_THREADS="$t" "$BIN" "$NODES" "$TASKS" "$TRIALS" > "$workdir/ex_t$t.txt"
+  compare "$workdir/ex_ref.txt" "$workdir/ex_t$t.txt" \
+    "strategy_comparison output depends on the thread count (t$REF vs t$t)"
+done
+
+# Bench telemetry: the batched trial fan must emit the same JSON
+# records regardless of the worker-thread count.
+BENCH_BIN="$BUILD_DIR/bench/table2_churn"
+if [[ -x "$BENCH_BIN" ]]; then
+  for t in "${THREAD_MATRIX[@]}"; do
+    mkdir -p "$workdir/bench$t"
+    echo "check_determinism: bench telemetry (t$t)"
+    DHTLB_THREADS="$t" DHTLB_TRIALS=1 DHTLB_BENCH_DETERMINISTIC=1 \
+      DHTLB_BENCH_DIR="$workdir/bench$t" "$BENCH_BIN" > /dev/null
+  done
+  for t in "${THREAD_MATRIX[@]:1}"; do
+    compare "$workdir/bench$REF/BENCH_table2_churn.json" \
+            "$workdir/bench$t/BENCH_table2_churn.json" \
+      "bench JSON depends on thread count (t$REF vs t$t)"
+  done
 else
   echo "check_determinism: note — $BENCH_BIN not built, skipping bench JSON check"
 fi
 
-# Scenario-engine determinism: one canned scenario's telemetry JSON must
-# byte-compare across DHTLB_THREADS=1 vs 4 (the scenario VM draws from
-# seed-mixed streams only, so parallelism settings must be inert).
+# Scenario-engine determinism: the churn-heavy parallel soak drives the
+# sharded tick path (parallel departure draws, cross-arc fold, sharded
+# consumption) hard enough that any ordering bug surfaces in its JSON.
 SCN_BIN="$BUILD_DIR/examples/dhtlb_scenario"
-SCN_FILE="$(dirname "$0")/../scenarios/flash_crowd.scn"
+SCN_FILE="$(dirname "$0")/../scenarios/parallel_churn_soak.scn"
+SCN_JSON="BENCH_scenario_parallel_churn_soak.json"
 if [[ -x "$SCN_BIN" && -f "$SCN_FILE" ]]; then
-  mkdir -p "$workdir/scn1" "$workdir/scn4"
-  echo "check_determinism: scenario telemetry (1 thread)"
-  DHTLB_THREADS=1 DHTLB_BENCH_DIR="$workdir/scn1" \
-    "$SCN_BIN" "$SCN_FILE" --quiet > /dev/null
-  echo "check_determinism: scenario telemetry (4 threads)"
-  DHTLB_THREADS=4 DHTLB_BENCH_DIR="$workdir/scn4" \
-    "$SCN_BIN" "$SCN_FILE" --quiet > /dev/null
-  if ! cmp -s "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
-              "$workdir/scn4/BENCH_scenario_flash_crowd.json"; then
-    echo "check_determinism: FAIL — scenario JSON depends on thread count" >&2
-    diff -u "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
-            "$workdir/scn4/BENCH_scenario_flash_crowd.json" >&2 || true
-    fail=1
-  fi
+  for t in "${THREAD_MATRIX[@]}"; do
+    mkdir -p "$workdir/scn$t"
+    echo "check_determinism: scenario telemetry (t$t)"
+    DHTLB_THREADS="$t" DHTLB_BENCH_DIR="$workdir/scn$t" \
+      "$SCN_BIN" "$SCN_FILE" --quiet > /dev/null
+  done
+  for t in "${THREAD_MATRIX[@]:1}"; do
+    compare "$workdir/scn$REF/$SCN_JSON" "$workdir/scn$t/$SCN_JSON" \
+      "scenario JSON depends on thread count (t$REF vs t$t)"
+  done
 else
   echo "check_determinism: note — $SCN_BIN not built, skipping scenario JSON check"
 fi
 
 # Observability determinism: trace + metrics files from the same
-# scenario must byte-compare across DHTLB_THREADS=1 vs 4, and attaching
-# the sinks must not change the telemetry JSON (observation invariance).
+# scenario must byte-compare across the matrix, and attaching the sinks
+# must not change the telemetry JSON (observation invariance).
 if [[ -x "$SCN_BIN" && -f "$SCN_FILE" ]]; then
-  mkdir -p "$workdir/obs1" "$workdir/obs4"
-  echo "check_determinism: trace/metrics (1 thread)"
-  DHTLB_THREADS=1 DHTLB_BENCH_DIR="$workdir/obs1" "$SCN_BIN" "$SCN_FILE" \
-    --trace="$workdir/obs1/trace.json" \
-    --metrics="$workdir/obs1/metrics.jsonl" --quiet > /dev/null
-  echo "check_determinism: trace/metrics (4 threads)"
-  DHTLB_THREADS=4 DHTLB_BENCH_DIR="$workdir/obs4" "$SCN_BIN" "$SCN_FILE" \
-    --trace="$workdir/obs4/trace.json" \
-    --metrics="$workdir/obs4/metrics.jsonl" --quiet > /dev/null
-  for artifact in trace.json metrics.jsonl; do
-    if ! cmp -s "$workdir/obs1/$artifact" "$workdir/obs4/$artifact"; then
-      echo "check_determinism: FAIL — $artifact depends on thread count" >&2
-      diff -u "$workdir/obs1/$artifact" "$workdir/obs4/$artifact" >&2 || true
-      fail=1
-    fi
+  for t in "${THREAD_MATRIX[@]}"; do
+    mkdir -p "$workdir/obs$t"
+    echo "check_determinism: trace/metrics (t$t)"
+    DHTLB_THREADS="$t" DHTLB_BENCH_DIR="$workdir/obs$t" \
+      "$SCN_BIN" "$SCN_FILE" \
+      --trace="$workdir/obs$t/trace.json" \
+      --metrics="$workdir/obs$t/metrics.jsonl" --quiet > /dev/null
   done
-  if ! cmp -s "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
-              "$workdir/obs1/BENCH_scenario_flash_crowd.json"; then
-    echo "check_determinism: FAIL — attaching sinks changed the telemetry" >&2
-    diff -u "$workdir/scn1/BENCH_scenario_flash_crowd.json" \
-            "$workdir/obs1/BENCH_scenario_flash_crowd.json" >&2 || true
-    fail=1
-  fi
+  for t in "${THREAD_MATRIX[@]:1}"; do
+    for artifact in trace.json metrics.jsonl; do
+      compare "$workdir/obs$REF/$artifact" "$workdir/obs$t/$artifact" \
+        "$artifact depends on thread count (t$REF vs t$t)"
+    done
+  done
+  compare "$workdir/scn$REF/$SCN_JSON" "$workdir/obs$REF/$SCN_JSON" \
+    "attaching sinks changed the telemetry"
 else
   echo "check_determinism: note — $SCN_BIN not built, skipping trace/metrics check"
 fi
@@ -131,4 +138,4 @@ fi
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
-echo "check_determinism: OK — byte-identical across runs and thread counts"
+echo "check_determinism: OK — byte-identical across ${THREAD_MATRIX[*]} threads"

@@ -105,10 +105,12 @@ def compare_file(name, base_path, cur_path, args, failures):
                     f"{base_rss} -> {cur_rss} bytes ({rss_ratio:.2f}x, "
                     f"limit {1.0 + args.max_rss_regression:.2f}x)")
 
-        if args.check_values and key[1] != "wall_ms":
+        if args.check_values and key[1] != "wall_ms" \
+                and not key[1].startswith("speedup"):
             # wall_ms-metric records (grid fan timings) are wall clock
-            # re-exposed as a value; only the normalized wall check
-            # above applies to them.
+            # re-exposed as a value, and speedup* metrics are ratios of
+            # wall clocks; only the normalized wall check above (and the
+            # --min-speedup floor below) applies to them.
             same_config = (base_r["seed"] == cur_r["seed"]
                            and base_r["trials"] == cur_r["trials"])
             if same_config:
@@ -121,6 +123,44 @@ def compare_file(name, base_path, cur_path, args, failures):
 
     for key in sorted(set(cur_idx) - set(base_idx)):
         print(f"note: {name}: new record {key} (not in baseline)")
+
+
+def check_speedup_floor(current_dir, args, failures):
+    """Enforces --min-speedup against the current run's speedup records.
+
+    Scans every BENCH_*.json in the current dir for records whose metric
+    is --speedup-metric and whose value is positive (deterministic-mode
+    runs zero them out, so they never gate).  The best observed speedup
+    must reach the floor — this is the thread-scaling gate the nightly
+    lane runs on bench/tick_parallel telemetry, guarded by a core-count
+    check in the workflow so 2-core runners don't fail a 4x floor.
+    """
+    best = None
+    best_key = None
+    for name in sorted(os.listdir(current_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        _, records = load_records(os.path.join(current_dir, name))
+        for r in records:
+            if r["metric"] != args.speedup_metric or r["value"] <= 0:
+                continue
+            if best is None or r["value"] > best:
+                best = r["value"]
+                best_key = f"{name}: ({r['cell']}, {r['metric']})"
+    if best is None:
+        failures.append(
+            f"--min-speedup {args.min_speedup}: no positive "
+            f"{args.speedup_metric!r} record found in {current_dir} "
+            f"(was the bench run in deterministic mode?)")
+        return
+    if best < args.min_speedup:
+        failures.append(
+            f"speedup floor: best {args.speedup_metric} is {best:.2f}x "
+            f"({best_key}), below the --min-speedup {args.min_speedup}x "
+            f"floor")
+    else:
+        print(f"speedup floor: {best_key} reached {best:.2f}x "
+              f"(floor {args.min_speedup}x)")
 
 
 def self_test(args):
@@ -201,6 +241,30 @@ def self_test(args):
             print(f"self-test FAILED: identical files flagged: {failures}")
             return 1
         print("self-test: identical files pass")
+
+        # Speedup floor: a 1.4x curve must fail a 2x floor and pass 1.2x.
+        scaling = json.loads(json.dumps(base))
+        scaling["records"].append(
+            {"cell": "n=1000/t8", "experiment": "selftest",
+             "metric": "speedup_vs_t1", "seed": 0, "trials": 1,
+             "value": 1.4, "wall_ms": 0.0})
+        scale_dir = write("scaling", scaling)
+        args.speedup_metric = "speedup_vs_t1"
+        failures = []
+        args.min_speedup = 2.0
+        check_speedup_floor(scale_dir, args, failures)
+        if not [f for f in failures if "speedup floor" in f]:
+            print("self-test FAILED: 1.4x curve passed a 2x speedup floor")
+            return 1
+        print(f"self-test: speedup floor correctly flagged: {failures[0]}")
+        failures = []
+        args.min_speedup = 1.2
+        check_speedup_floor(scale_dir, args, failures)
+        if failures:
+            print(f"self-test FAILED: 1.4x curve failed a 1.2x floor: "
+                  f"{failures}")
+            return 1
+        print("self-test: speedup floor passes above the bar")
     print("self-test OK")
     return 0
 
@@ -219,6 +283,11 @@ def main():
                          "seed/trials")
     ap.add_argument("--value-tolerance", type=float, default=0.0,
                     help="relative+absolute tolerance for --check-values")
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="require the best --speedup-metric record in the "
+                         "current dir to reach this ratio (0 = off)")
+    ap.add_argument("--speedup-metric", default="speedup_vs_t1",
+                    help="metric name scanned by --min-speedup")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate trips on an injected 2x slowdown")
     args = ap.parse_args()
@@ -253,6 +322,9 @@ def main():
         print("error: no baseline file matched a current file",
               file=sys.stderr)
         sys.exit(2)
+
+    if args.min_speedup > 0:
+        check_speedup_floor(args.current_dir, args, failures)
 
     if failures:
         print(f"\ncompare_bench: {len(failures)} failure(s):")

@@ -103,6 +103,21 @@ void MetricsRegistry::observe(Id id, double value) {
   inst.sum += value;
 }
 
+void MetricsRegistry::observe_all(Id id, const std::vector<double>& values) {
+  support::MutexLock lock(mu_);
+  DHTLB_CHECK(id < instruments_.size(), "unknown metric id");
+  Instrument& inst = instruments_[id];
+  DHTLB_CHECK(inst.kind == Kind::kHistogram,
+                "observe_all() is only valid on histograms");
+  for (const double value : values) {
+    for (std::size_t b = 0; b < inst.bounds.size(); ++b) {
+      if (value <= inst.bounds[b]) ++inst.buckets[b];
+    }
+    ++inst.buckets.back();
+    inst.sum += value;
+  }
+}
+
 void MetricsRegistry::emit_row(const Instrument& inst, std::uint64_t tick) {
   const auto row = [&](std::string_view metric, const double* le,
                        bool le_inf, double value) {

@@ -67,6 +67,12 @@ class MetricsRegistry {
   void set(Id id, double value) EXCLUDES(mu_);      // gauges
   void observe(Id id, double value) EXCLUDES(mu_);  // histograms
 
+  /// Batched observe(): records every value under a single lock
+  /// acquisition.  This is how the tick engine publishes the post-barrier
+  /// workload distribution — one fold-side call per tick instead of one
+  /// lock round-trip per alive node.
+  void observe_all(Id id, const std::vector<double>& values) EXCLUDES(mu_);
+
   /// Emits one row per instrument for `tick` (instruments in name
   /// order), then resets histograms.
   void sample(std::uint64_t tick) EXCLUDES(mu_);

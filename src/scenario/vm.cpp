@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 #include "support/rng.hpp"
 
 namespace dhtlb::scenario {
@@ -108,8 +109,11 @@ void apply_sim_event(const Event& e, sim::Engine& engine, Rng& rng,
   sim::World& world = engine.world();
   switch (e.kind) {
     case Event::Kind::kJoin:
+      // Placement IDs come from the VM's own stream, so a scripted join
+      // perturbs neither the engine's churn streams nor the world's
+      // construction RNG.
       for (std::uint64_t i = 0; i < e.count; ++i) {
-        if (!world.join_from_pool()) break;  // waiting pool exhausted
+        if (!world.join_from_pool(rng)) break;  // waiting pool exhausted
         ++counters.joins;
       }
       break;
@@ -165,6 +169,9 @@ ScenarioResult run_sim(const Script& script, std::uint64_t seed,
 
   sim::Engine engine(params, seed, lb::make_strategy(script.strategy));
   if (audit) engine.set_audit(true);
+  // DHTLB_THREADS sizes the engine's shard-worker pool; outputs are
+  // thread-count independent (the threads-matrix CI lane enforces it).
+  engine.set_threads(support::env_threads());
   engine.set_trace(sinks.trace);
   engine.set_metrics(sinks.metrics);
   Rng vm_rng(support::mix_seed(seed, kVmStream));

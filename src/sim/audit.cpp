@@ -272,6 +272,15 @@ void InvariantAuditor::check_membership(AuditReport& report) const {
   };
   visit(world_.alive_indices(), true, "alive");
   visit(world_.waiting_indices(), false, "waiting");
+  // The parallel tick engine partitions the alive set through the cached
+  // position/home-shard indexes; a stale entry would silently reorder or
+  // drop nodes from a shard, so the caches are audited like the ring.
+  if (!world_.alive_index_consistent()) {
+    fail(report, "membership", [](std::ostream& os) {
+      os << "alive-position or home-shard cache disagrees with the alive "
+            "list (see World::alive_index_consistent)";
+    });
+  }
 }
 
 void InvariantAuditor::check_conservation(AuditReport& report) const {

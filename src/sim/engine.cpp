@@ -9,6 +9,23 @@
 
 namespace dhtlb::sim {
 
+namespace {
+
+// Labels for the per-tick RNG stream tree (support::stream_seed): every
+// stochastic phase of a tick draws from stream_seed(mix_seed(seed, tick),
+// phase[, shard]).  Sibling phases and shards are decorrelated by
+// construction, and no stream ever depends on thread count or execution
+// order — the determinism contract the threads-matrix CI lane enforces.
+enum TickStream : std::uint64_t {
+  kStreamChurnLeave = 1,  // per-shard departure Bernoullis
+  kStreamJoinCount = 2,   // per-shard waiting-pool Bernoullis
+  kStreamJoinPlace = 3,   // join placement IDs (sequential)
+  kStreamDecide = 4,      // strategy decision draws (sequential)
+  kStreamConsume = 5,     // per-shard uniform task picks
+};
+
+}  // namespace
+
 Engine::Engine(const Params& params, std::uint64_t seed,
                std::unique_ptr<Strategy> strategy)
     : params_(params), seed_(seed), rng_(seed), world_(params_, rng_),
@@ -42,30 +59,84 @@ Snapshot Engine::capture(std::uint64_t tick) const {
   return snap;
 }
 
-void Engine::churn_step() {
+void Engine::set_threads(std::size_t threads) {
+  pool_.reset();
+  if (threads == 1) return;
+  auto pool = std::make_unique<support::ThreadPool>(threads);
+  // A one-worker pool would serialize the shards anyway; run inline and
+  // skip the queue traffic.
+  if (pool->thread_count() > 1) pool_ = std::move(pool);
+}
+
+void Engine::partition_alive() {
+  for (auto& shard : shards_) shard.members.clear();
+  for (const NodeIndex idx : world_.alive_indices()) {
+    shards_[world_.home_shard(idx)].members.push_back(idx);
+  }
+}
+
+void Engine::for_each_shard(const std::function<void(std::size_t)>& fn) {
+  if (pool_) {
+    pool_->parallel_for(kTickShards, fn);
+    return;
+  }
+  for (std::size_t s = 0; s < kTickShards; ++s) fn(s);
+}
+
+void Engine::churn_step(std::uint64_t tick_seed) {
   if (params_.churn_rate <= 0.0) return;
-  // Departures: per-node Bernoulli over a snapshot of the alive set (the
-  // set mutates as nodes leave).  The last remaining node never departs.
-  // The snapshot reuses a member buffer: churn runs every tick, and a
-  // fresh O(alive) allocation per tick is measurable at scale.
-  churn_scratch_ = world_.alive_indices();
-  for (const NodeIndex idx : churn_scratch_) {
-    if (world_.alive_count() <= 1) break;
-    if (rng_.bernoulli(params_.churn_rate) && world_.depart(idx)) {
-      ++leaves_;
-      if (trace_) trace_->instant("leave", "churn", {{"node", idx}});
+  // Departure draws: per-node Bernoulli over the alive set, partitioned
+  // into ring arcs.  Each shard stages its leavers from its own RNG
+  // stream; nothing mutates until the fold, so the draw phase is safe to
+  // fan across workers and insensitive to the order shards execute in.
+  partition_alive();
+  const double churn_rate = params_.churn_rate;
+  for_each_shard([&](std::size_t s) {
+    ShardScratch& shard = shards_[s];
+    shard.departures.clear();
+    support::Rng rng(support::stream_seed(tick_seed, kStreamChurnLeave, s));
+    for (const NodeIndex idx : shard.members) {
+      if (rng.bernoulli(churn_rate)) shard.departures.push_back(idx);
+    }
+  });
+  // Fold: apply the staged departures in fixed shard order.  Departures
+  // are the canonical cross-arc effect — a leaver's tasks fall to its
+  // ring successor, which may live on another shard — so they only ever
+  // happen here, sequentially.  The last remaining node never departs.
+  for (auto& shard : shards_) {
+    for (const NodeIndex idx : shard.departures) {
+      if (world_.alive_count() <= 1) break;
+      if (world_.depart(idx)) {
+        ++leaves_;
+        if (trace_) trace_->instant("leave", "churn", {{"node", idx}});
+      }
     }
   }
   // Arrivals: each waiting node independently decides to join.  Waiting
   // nodes are exchangeable, so drawing a Binomial count and popping that
-  // many from the pool is equivalent to per-node draws.
+  // many from the pool is equivalent to per-node draws.  The count draws
+  // are sharded over fixed index ranges of the pool (a pure sum of
+  // Bernoullis — order-free), while the joins themselves fold
+  // sequentially: a joiner's fresh SHA-1 ID lands anywhere on the ring,
+  // splitting an arbitrary shard's arc.
   const std::size_t waiting_now = world_.waiting_count();
-  std::size_t joins_this_tick = 0;
-  for (std::size_t i = 0; i < waiting_now; ++i) {
-    if (rng_.bernoulli(params_.churn_rate)) ++joins_this_tick;
-  }
-  for (std::size_t i = 0; i < joins_this_tick; ++i) {
-    if (world_.join_from_pool()) {
+  const std::size_t per_shard =
+      (waiting_now + kTickShards - 1) / kTickShards;
+  for_each_shard([&](std::size_t s) {
+    const std::size_t begin = std::min(s * per_shard, waiting_now);
+    const std::size_t end = std::min(begin + per_shard, waiting_now);
+    support::Rng rng(support::stream_seed(tick_seed, kStreamJoinCount, s));
+    std::uint64_t successes = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (rng.bernoulli(churn_rate)) ++successes;
+    }
+    shards_[s].join_draws = successes;
+  });
+  std::uint64_t joins_this_tick = 0;
+  for (const auto& shard : shards_) joins_this_tick += shard.join_draws;
+  support::Rng join_rng(support::stream_seed(tick_seed, kStreamJoinPlace));
+  for (std::uint64_t i = 0; i < joins_this_tick; ++i) {
+    if (world_.join_from_pool(join_rng)) {
       ++joins_;
       if (trace_) trace_->instant("join", "churn");
     }
@@ -108,9 +179,12 @@ void Engine::observe_tick(std::uint64_t done_this_tick) {
   if (metrics_ != nullptr) {
     metrics_->set(ids_.ring_gini, ring_gini);
     metrics_->set(ids_.workload_stddev, spread.stddev());
+    obs_loads_.clear();
+    obs_loads_.reserve(loads.size());
     for (const std::uint64_t load : loads) {
-      metrics_->observe(ids_.workload_hist, static_cast<double>(load));
+      obs_loads_.push_back(static_cast<double>(load));
     }
+    metrics_->observe_all(ids_.workload_hist, obs_loads_);
     metrics_->set(ids_.sybils_live, static_cast<double>(live_sybils));
     metrics_->set(ids_.nodes_alive, static_cast<double>(loads.size()));
     metrics_->set(ids_.tasks_remaining,
@@ -170,11 +244,16 @@ bool Engine::step() {
   if (pre_tick_hook_) keep_alive = pre_tick_hook_(tick_ + 1);
   if (world_.remaining_tasks() == 0 && !keep_alive) return false;
   ++tick_;
+  // Root of this tick's RNG stream tree (see TickStream above).
+  const std::uint64_t tick_seed = support::mix_seed(seed_, tick_);
 
-  churn_step();
+  churn_step(tick_seed);
 
   if (strategy_ && tick_ % params_.decision_period == 0) {
-    strategy_->decide(world_, rng_, strategy_counters_);
+    // Decisions mutate the ring globally (Sybil arcs split anywhere), so
+    // they stay sequential, on their own per-tick stream.
+    support::Rng decide_rng(support::stream_seed(tick_seed, kStreamDecide));
+    strategy_->decide(world_, decide_rng, strategy_counters_);
     if (trace_) {
       // Deltas against the last observed tick = this decision's effect
       // (decisions run at most once per tick).
@@ -200,13 +279,26 @@ bool Engine::step() {
     }
   }
 
-  // Consumption over a snapshot of the alive set: nodes that joined this
-  // tick participate (they are in the set by now); the set does not
-  // change during consumption.
+  // Consumption: nodes that joined or were split by a decision this tick
+  // participate, so the shard partition is rebuilt, then each shard
+  // consumes its own nodes' tasks on its own stream.  Every mutation is
+  // local to a node's own vnodes (TaskStores, workload cache), so shards
+  // never touch each other's state; the one global effect — the
+  // remaining-task counter — is staged as a per-shard total and settled
+  // at the fold barrier.
+  partition_alive();
+  for_each_shard([&](std::size_t s) {
+    ShardScratch& shard = shards_[s];
+    support::Rng rng(support::stream_seed(tick_seed, kStreamConsume, s));
+    std::uint64_t consumed = 0;
+    for (const NodeIndex idx : shard.members) {
+      consumed += world_.consume_local(idx, world_.work_per_tick(idx), rng);
+    }
+    shard.consumed = consumed;
+  });
   std::uint64_t done_this_tick = 0;
-  for (const NodeIndex idx : world_.alive_indices()) {
-    done_this_tick += world_.consume(idx, world_.work_per_tick(idx));
-  }
+  for (const auto& shard : shards_) done_this_tick += shard.consumed;
+  world_.debit_remaining(done_this_tick);
   completed_ += done_this_tick;
   if (record_series_) series_.push_back(done_this_tick);
   if (trace_ || metrics_) observe_tick(done_this_tick);

@@ -10,8 +10,23 @@
 //   3. consumption — each alive node consumes work_per_tick tasks
 //   4. snapshot    — if t was requested (tick 0 = initial state)
 // The run ends when no tasks remain (or the safety cap trips).
+//
+// Parallel execution (see DESIGN.md "Parallel tick engine"): the alive
+// population is partitioned into kTickShards contiguous ring arcs by
+// primary vnode ID.  The embarrassingly parallel phases — churn
+// departure draws and task consumption — fan the shards across a
+// support::ThreadPool; every cross-shard effect (the departures
+// themselves, joins landing anywhere on the ring, the global
+// remaining-task counter) is staged per shard and folded sequentially in
+// fixed shard order at a barrier.  Each (tick, phase, shard) triple owns
+// an Rng stream derived via support::stream_seed, so the simulation's
+// outputs are bit-identical at any DHTLB_THREADS setting — the shard
+// count is fixed, the fold order is fixed, and no draw ever depends on
+// which thread ran it.  Observation, snapshots, and the invariant audit
+// all run on the folded post-barrier world.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -26,6 +41,7 @@
 #include "sim/strategy.hpp"
 #include "sim/world.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dhtlb::sim {
 
@@ -112,6 +128,16 @@ class Engine {
   void set_audit(bool enabled) { audit_enabled_ = enabled; }
   bool audit_enabled() const { return audit_enabled_; }
 
+  /// Sizes the worker pool for the parallel tick phases: 0 = hardware
+  /// concurrency, 1 (the default) = run every shard inline on the
+  /// calling thread.  Purely an execution knob — the sharded algorithm,
+  /// RNG streams, and fold order are identical at every setting, so
+  /// results never depend on it.  Drivers wire this to DHTLB_THREADS
+  /// (support::env_threads); the experiment harness deliberately leaves
+  /// engines single-threaded because it parallelizes across trials.
+  void set_threads(std::size_t threads);
+  std::size_t threads() const { return pool_ ? pool_->thread_count() : 1; }
+
   /// Runs to completion (or the safety cap) and returns the results.
   RunResult run();
 
@@ -128,10 +154,21 @@ class Engine {
   Snapshot capture(std::uint64_t tick) const;
 
  private:
-  void churn_step();
+  void churn_step(std::uint64_t tick_seed);
   void run_audit() const;
   void finalize(RunResult& result) const;
   void observe_tick(std::uint64_t done_this_tick);
+
+  /// Rebins the alive set into per-shard member lists (reading the
+  /// world's cached home shards).  Called before each parallel phase —
+  /// membership may have changed since the last one.
+  void partition_alive();
+
+  /// Runs fn(shard) for every shard: fanned across the pool when one is
+  /// attached, in shard order inline otherwise.  fn must only touch its
+  /// own shard's staging state (plus world state local to that shard's
+  /// nodes) — all cross-shard effects wait for the sequential fold.
+  void for_each_shard(const std::function<void(std::size_t)>& fn);
 
   Params params_;
   std::uint64_t seed_;
@@ -140,6 +177,18 @@ class Engine {
   std::unique_ptr<Strategy> strategy_;
   std::uint64_t tick_ = 0;
   std::uint64_t completed_ = 0;
+
+  /// Per-shard staging area: the only state a worker may write during a
+  /// parallel phase.  Folded (and cleared) in fixed shard order at the
+  /// barrier that ends the phase.
+  struct ShardScratch {
+    std::vector<NodeIndex> members;     // this tick's shard partition
+    std::vector<NodeIndex> departures;  // churn draw results, pre-fold
+    std::uint64_t consumed = 0;         // consumption total, pre-fold
+    std::uint64_t join_draws = 0;       // Binomial successes, pre-fold
+  };
+  std::array<ShardScratch, kTickShards> shards_;
+  std::unique_ptr<support::ThreadPool> pool_;  // null = inline execution
 #ifdef DHTLB_AUDIT_ENABLED
   bool audit_enabled_ = true;
 #else
@@ -154,7 +203,7 @@ class Engine {
   std::vector<Snapshot> snapshots_;
   bool record_series_ = false;
   std::vector<std::uint64_t> series_;
-  std::vector<NodeIndex> churn_scratch_;  // reused alive-set snapshot
+  std::vector<double> obs_loads_;  // reused histogram batch buffer
   TickHook pre_tick_hook_;
 
   // Observability (both sinks nullable; see set_trace/set_metrics).

@@ -49,7 +49,10 @@ World::World(const Params& params, support::Rng& rng)
   alive_.reserve(n);
   waiting_.reserve(n);
   vnode_cache_.resize(physicals_.size());
+  alive_pos_.assign(physicals_.size(), kNotAlive);
+  home_shard_.assign(physicals_.size(), 0);
   for (std::size_t i = 0; i < n; ++i) {
+    alive_pos_[i] = static_cast<std::uint32_t>(alive_.size());
     alive_.push_back(static_cast<NodeIndex>(i));
   }
   for (std::size_t i = n; i < 2 * n; ++i) {
@@ -72,6 +75,8 @@ World::World(const Params& params, support::Rng& rng)
     const Slot slot = ring_.bulk_append(id, idx, /*is_sybil=*/false);
     physicals_[idx].vnode_ids.push_back(id);
     vnode_cache_[idx].push_back(slot);
+    home_shard_[idx] =
+        static_cast<std::uint8_t>(support::arc_shard(id, kTickShards));
     initial_capacity_ += work_per_tick(idx);
   }
   ring_.finalize_bulk();
@@ -202,11 +207,11 @@ const std::vector<TaskKey>& World::vnode_keys(const Uint160& vnode_id) const {
   return ring_.tasks(ring_.slot_at(ring_.find(vnode_id))).keys();
 }
 
-Uint160 World::fresh_ring_id() {
+Uint160 World::fresh_ring_id(support::Rng& rng) {
   // SHA-1 of a random 64-bit value (§V: "Nodes obtain an ID, drawn from
   // a call to SHA1").  Collisions are ~2^-160 but re-draw regardless.
   for (;;) {
-    const Uint160 id = hashing::Sha1::hash_u64(rng_());
+    const Uint160 id = hashing::Sha1::hash_u64(rng());
     if (!ring_.contains(id)) return id;
   }
 }
@@ -230,6 +235,10 @@ std::uint64_t World::insert_vnode(NodeIndex owner, const Uint160& id,
 
   physicals_[owner].vnode_ids.push_back(id);
   vnode_cache_[owner].push_back(slot);
+  if (!is_sybil) {
+    home_shard_[owner] =
+        static_cast<std::uint8_t>(support::arc_shard(id, kTickShards));
+  }
   return acquired;
 }
 
@@ -279,23 +288,43 @@ bool World::depart(NodeIndex idx) {
                "depart: node " << idx << " left the ring still holding "
                                << node.workload << " tasks");
   node.alive = false;
-  std::erase(alive_, idx);
+  // Swap-pop through the position index: O(1) where std::erase's linear
+  // scan made churn ticks quadratic in the alive population.
+  const std::uint32_t pos = alive_pos_[idx];
+  DHTLB_ASSERT(pos < alive_.size() && alive_[pos] == idx,
+               "depart: alive_pos_ stale for node " << idx);
+  alive_[pos] = alive_.back();
+  alive_pos_[alive_[pos]] = pos;
+  alive_.pop_back();
+  alive_pos_[idx] = kNotAlive;
   waiting_.push_back(idx);
   return true;
 }
 
 std::optional<NodeIndex> World::join_from_pool() {
+  return join_from_pool(rng_);
+}
+
+std::optional<NodeIndex> World::join_from_pool(support::Rng& id_rng) {
   if (waiting_.empty()) return std::nullopt;
   const NodeIndex idx = waiting_.back();
   waiting_.pop_back();
   PhysicalNode& node = physicals_[idx];
   node.alive = true;
+  alive_pos_[idx] = static_cast<std::uint32_t>(alive_.size());
   alive_.push_back(idx);
-  insert_vnode(idx, fresh_ring_id(), /*is_sybil=*/false);
+  insert_vnode(idx, fresh_ring_id(id_rng), /*is_sybil=*/false);
   return idx;
 }
 
 std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
+  const std::uint64_t consumed = consume_local(idx, budget, rng_);
+  remaining_ -= consumed;
+  return consumed;
+}
+
+std::uint64_t World::consume_local(NodeIndex idx, std::uint64_t budget,
+                                   support::Rng& rng) {
   PhysicalNode& node = physicals_[idx];
   std::uint64_t consumed = 0;
   while (consumed < budget && node.workload > 0) {
@@ -315,13 +344,19 @@ std::uint64_t World::consume(NodeIndex idx, std::uint64_t budget) {
     const std::uint64_t take =
         std::min<std::uint64_t>(budget - consumed, busiest->size());
     for (std::uint64_t i = 0; i < take; ++i) {
-      busiest->consume_random(rng_);
+      busiest->consume_random(rng);
     }
     consumed += take;
     node.workload -= take;
   }
-  remaining_ -= consumed;
   return consumed;
+}
+
+void World::debit_remaining(std::uint64_t consumed) {
+  DHTLB_CHECK(consumed <= remaining_,
+              "debit_remaining: folded consumption " << consumed
+                  << " exceeds remaining " << remaining_);
+  remaining_ -= consumed;
 }
 
 void World::inject_task(const Uint160& key) {
@@ -366,6 +401,27 @@ bool World::vnode_cache_consistent() const {
     }
   }
   return true;
+}
+
+bool World::alive_index_consistent() const {
+  if (alive_pos_.size() != physicals_.size() ||
+      home_shard_.size() != physicals_.size()) {
+    return false;
+  }
+  for (std::size_t pos = 0; pos < alive_.size(); ++pos) {
+    const NodeIndex idx = alive_[pos];
+    if (alive_pos_[idx] != pos) return false;
+    const auto& ids = physicals_[idx].vnode_ids;
+    if (ids.empty()) return false;
+    if (home_shard_[idx] != support::arc_shard(ids.front(), kTickShards)) {
+      return false;
+    }
+  }
+  std::size_t alive_positions = 0;
+  for (std::size_t idx = 0; idx < alive_pos_.size(); ++idx) {
+    if (alive_pos_[idx] != kNotAlive) ++alive_positions;
+  }
+  return alive_positions == alive_.size();
 }
 
 }  // namespace dhtlb::sim

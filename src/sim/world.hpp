@@ -39,6 +39,14 @@ struct WorldCorruptor;  // test-only backdoor, defined under tests/sim/
 
 using support::Uint160;
 
+/// Number of contiguous ring arcs the parallel tick engine partitions the
+/// alive population into.  Fixed — never derived from the worker-thread
+/// count — so per-shard RNG streams, fold order, and therefore every
+/// simulation output are identical at DHTLB_THREADS=1 and N.  Sixteen
+/// arcs keep all plausible pool sizes busy while the per-tick partition
+/// and fold overhead stays negligible.
+inline constexpr std::size_t kTickShards = 16;
+
 /// A machine participating (or waiting to participate) in the network.
 struct PhysicalNode {
   unsigned strength = 1;  // het: U{1..maxSybils}; hom: 1
@@ -171,6 +179,13 @@ class World {
   /// denominator of the ideal runtime (§V-C).
   std::uint64_t initial_capacity() const { return initial_capacity_; }
 
+  /// The tick-engine shard (contiguous ring arc, see kTickShards) that
+  /// `idx`'s primary vnode lives on.  Cached at primary placement — the
+  /// primary ID never changes while a node is alive — so the engine's
+  /// per-tick partition is two flat array reads per node.  Only
+  /// meaningful for alive nodes.
+  std::uint8_t home_shard(NodeIndex idx) const { return home_shard_[idx]; }
+
   /// Per-alive-physical-node workloads, for histograms and imbalance
   /// metrics (order matches alive_indices()).
   std::vector<std::uint64_t> alive_workloads() const;
@@ -237,14 +252,32 @@ class World {
 
   /// Pops one waiting node and joins it at a fresh SHA-1 ID; returns its
   /// index, or nullopt if the pool is empty.  The joiner immediately
-  /// acquires the keys in its arc (§IV-A).
+  /// acquires the keys in its arc (§IV-A).  The no-argument form draws
+  /// the ID from the world's construction RNG; the overload draws from
+  /// the caller's stream instead, so engine churn and scripted scenario
+  /// joins each own their placement randomness.
   std::optional<NodeIndex> join_from_pool();
+  std::optional<NodeIndex> join_from_pool(support::Rng& id_rng);
 
   // --- mutation: work -----------------------------------------------------
 
   /// Consumes up to `budget` tasks from `idx`'s vnodes (most-loaded vnode
   /// first).  Returns tasks actually consumed.
   std::uint64_t consume(NodeIndex idx, std::uint64_t budget);
+
+  /// The shard-parallel form of consume(): identical task selection, but
+  /// the uniform picks come from the caller's per-shard RNG stream and
+  /// the global remaining-task counter is NOT debited — the tick engine
+  /// folds per-shard consumed totals and settles the counter once at the
+  /// barrier via debit_remaining().  Thread-compatible: safe to call
+  /// concurrently for nodes on different shards, because every mutation
+  /// (TaskStores, workload cache) is local to `idx`'s own vnodes.
+  std::uint64_t consume_local(NodeIndex idx, std::uint64_t budget,
+                              support::Rng& rng);
+
+  /// Settles the global remaining-task counter after a parallel
+  /// consumption phase: subtracts the folded per-shard total.
+  void debit_remaining(std::uint64_t consumed);
 
   /// Adds one task with `key` to the vnode whose arc covers it — the
   /// scenario engine's mid-run workload-injection primitive.  Raises
@@ -273,6 +306,11 @@ class World {
   /// O(ring log ring); for the auditor and tests.
   bool vnode_cache_consistent() const;
 
+  /// True iff the alive-position index (the O(1) swap-pop depart
+  /// bookkeeping) and the cached home shards agree with alive_ and the
+  /// primary vnode IDs.  O(alive); for the auditor and tests.
+  bool alive_index_consistent() const;
+
   /// Deep structural check of the flat ring index itself (sortedness,
   /// tombstone/staging bookkeeping, slot-arena cross-references).  For
   /// the auditor and tests.
@@ -287,8 +325,10 @@ class World {
   /// Builds the ArcView of the vnode a cursor points at.
   ArcView view_at(const FlatRing::Cursor& cursor) const;
 
-  /// Generates a fresh SHA-1 node/task ID not colliding with the ring.
-  Uint160 fresh_ring_id();
+  /// Generates a fresh SHA-1 node/task ID not colliding with the ring,
+  /// drawing from the given stream (or the world's construction RNG).
+  Uint160 fresh_ring_id() { return fresh_ring_id(rng_); }
+  Uint160 fresh_ring_id(support::Rng& rng);
 
   /// Removes one vnode, merging its tasks into its successor.  The vnode
   /// must not be the last one in the ring.
@@ -312,6 +352,15 @@ class World {
   std::vector<std::vector<Slot>> vnode_cache_;
   std::vector<NodeIndex> alive_;
   std::vector<NodeIndex> waiting_;
+  // alive_pos_[idx] = position of idx within alive_, or kNotAlive.  Lets
+  // depart() swap-pop in O(1) instead of std::erase's O(alive) scan —
+  // the difference between O(alive) and O(alive^2 * churn) per tick at
+  // 1M vnodes.  Audited by alive_index_consistent().
+  static constexpr std::uint32_t kNotAlive = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> alive_pos_;
+  // home_shard_[idx] = arc_shard(primary vnode id, kTickShards), cached
+  // at primary placement for the engine's per-tick shard partition.
+  std::vector<std::uint8_t> home_shard_;
   std::uint64_t remaining_ = 0;
   std::uint64_t total_tasks_ = 0;  // initial job + injected tasks
   std::uint64_t initial_capacity_ = 0;

@@ -70,4 +70,17 @@ inline double ring_fraction(const Uint160& id) {
   return id.to_unit_interval();
 }
 
+/// Maps an ID to one of `shards` equal contiguous arcs of the ring:
+/// shard s covers [s/shards, (s+1)/shards) of the identifier circle.
+/// The top 64 bits decide the arc (a 2^-64 granularity boundary error is
+/// impossible for shard counts far below 2^64), via the same
+/// multiply-shift trick Rng::below uses.  SHA-1 IDs are uniform, so the
+/// arcs are balanced in expectation — this is the partition the parallel
+/// tick engine shards the ring by.
+constexpr std::size_t arc_shard(const Uint160& id, std::size_t shards) {
+  __extension__ using U128 = unsigned __int128;
+  return static_cast<std::size_t>(
+      static_cast<U128>(id.high64()) * shards >> 64);
+}
+
 }  // namespace dhtlb::support

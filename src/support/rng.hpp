@@ -37,6 +37,18 @@ constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
   return splitmix64(s) ^ splitmix64(s);
 }
 
+/// Folds a label path into a seed: stream_seed(seed, a, b, c) is
+/// mix_seed(mix_seed(mix_seed(seed, a), b), c).  This is how the parallel
+/// tick engine derives its per-(tick, phase, shard) RNG streams: every
+/// level of the path decorrelates independently, so sibling streams never
+/// overlap and the derivation depends only on logical labels — never on
+/// thread count or execution order.
+template <typename... Salts>
+constexpr std::uint64_t stream_seed(std::uint64_t seed, Salts... salts) {
+  ((seed = mix_seed(seed, static_cast<std::uint64_t>(salts))), ...);
+  return seed;
+}
+
 /// xoshiro256** engine.  Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
