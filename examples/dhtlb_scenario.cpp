@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     }
     metrics = std::make_unique<obs::MetricsRegistry>(metrics_file);
   }
-  const scenario::ObsSinks sinks{trace.get(), metrics.get()};
+  const scenario::ObsSinks sinks{trace.get(), metrics.get(), {}};
 
   const scenario::ScenarioResult result =
       scenario::run_scenario(script, seed, cli.get_bool("audit"), sinks);

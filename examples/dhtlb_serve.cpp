@@ -1,0 +1,261 @@
+// dhtlb_serve: replays a .scn scenario (sim substrate) with the serving
+// plane attached — N reader threads resolving key lookups against RCU
+// ring snapshots while the engine churns — and emits the serve
+// telemetry through the bench JSON writer.
+//
+//   dhtlb_serve scenarios/serve_churn_soak.scn
+//   dhtlb_serve scenarios/flash_crowd.scn --readers 8 --traffic hotspot
+//   dhtlb_serve scenarios/serve_churn_soak.scn --qps 5000 --seed 7
+//   dhtlb_serve scenarios/serve_churn_soak.scn --check scenarios/goldens/BENCH_serve_churn_soak.json
+//
+// The JSON output (BENCH_serve_<name>.json, honoring DHTLB_BENCH_DIR
+// and DHTLB_BENCH_JSON=0) contains the serve-plane results: lookup and
+// batch counts, hop-count statistics, Sybil-absorption fraction, the
+// load-seen-by-traffic skew (gini / max-over-mean over owner hits),
+// and view-lifecycle counters.  Every one of those values is a pure
+// function of (scenario, seed, --traffic, --qps): --readers and
+// DHTLB_THREADS are execution knobs that never change a byte
+// (scripts/check_determinism.sh replays the matrix to prove it).  The
+// only wall-derived rows — per-lookup latency percentiles and the run
+// wall — are recorded under the metric name "wall_ms" (which the value
+// gate in scripts/compare_bench.py skips) and zeroed in
+// DHTLB_BENCH_DETERMINISTIC mode, where latency capture is disabled
+// entirely.  Lookups/sec is printed on stdout only, never in the JSON.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "harness/telemetry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenario/script.hpp"
+#include "scenario/vm.hpp"
+#include "serve/service.hpp"
+#include "support/cli.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using namespace dhtlb;
+
+int fail(const std::string& message) {
+  std::cerr << "dhtlb_serve: " << message << "\n";
+  return 1;
+}
+
+void push(std::vector<bench::Record>& out, const std::string& experiment,
+          const std::string& cell, const std::string& metric, double value,
+          std::uint64_t seed, double wall_ms = 0.0) {
+  bench::Record rec;
+  rec.experiment = experiment;
+  rec.cell = cell;
+  rec.metric = metric;
+  rec.value = value;
+  rec.wall_ms = wall_ms;
+  rec.seed = seed;
+  rec.trials = 1;
+  out.push_back(rec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli;
+  cli.add_flag("readers", "N", "4",
+               "reader worker threads serving lookups (execution knob: "
+               "results are byte-identical at any setting)");
+  cli.add_flag("traffic", "MODEL", "zipf",
+               "key distribution: uniform | zipf | hotspot");
+  cli.add_flag("qps", "N", "2000",
+               "lookups per tick (one batch per published ring view)");
+  cli.add_flag("keys", "N", "100000",
+               "zipf key-universe size (zipf traffic only; <= 2^22)");
+  cli.add_flag("seed", "N", "", "override the RNG seed (default: the "
+               "script's `seed` header, then DHTLB_SEED)");
+  cli.add_flag("audit", "", "", "run the per-tick invariant auditor");
+  cli.add_flag("check", "FILE", "",
+               "compare the telemetry JSON against a golden file and exit "
+               "nonzero on any byte difference (implies no file output)");
+  cli.add_flag("trace", "FILE", "",
+               "write a Chrome trace_event JSON including the serve "
+               "plane's view_publish instants and counter series");
+  cli.add_flag("metrics", "FILE", "",
+               "write per-tick metrics JSONL including the serve catalog "
+               "(see OBSERVABILITY.md)");
+  cli.add_flag("quiet", "", "", "suppress the metric table on stdout");
+  cli.add_flag("help", "", "", "show this help");
+
+  if (!cli.parse(argc, argv)) return fail(cli.error());
+  if (cli.get_bool("help")) {
+    std::cout << cli.help(
+        "dhtlb_serve <scenario.scn>",
+        "Replay a sim scenario with concurrent key-lookup serving over "
+        "RCU ring snapshots; emit BENCH_serve_<name>.json telemetry.");
+    return 0;
+  }
+  if (cli.positionals().size() != 1) {
+    return fail("expected exactly one scenario file (see --help)");
+  }
+
+  scenario::Script script;
+  try {
+    script = scenario::Script::load(cli.positionals()[0]);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  if (script.substrate != scenario::Substrate::kSim) {
+    return fail("the serving plane attaches to the sim substrate only "
+                "(script declares `substrate chord`)");
+  }
+
+  serve::Config config;
+  config.readers = cli.get_u64("readers");
+  if (config.readers == 0) return fail("--readers must be >= 1");
+  const auto traffic = serve::parse_traffic(cli.get("traffic"));
+  if (!traffic) return fail("unknown --traffic: " + cli.get("traffic"));
+  config.traffic = *traffic;
+  config.lookups_per_tick = cli.get_u64("qps");
+  config.traffic_config.key_universe = cli.get_u64("keys");
+  // Latency needs a real clock; deterministic mode trades it for
+  // byte-stable output (the latency rows stay, zeroed).
+  config.measure_latency = !bench::Telemetry::deterministic();
+
+  const std::uint64_t seed = scenario::resolve_seed(
+      script, cli.has("seed"), cli.has("seed") ? cli.get_u64("seed") : 0,
+      support::env_seed());
+
+  const std::string trace_path =
+      cli.has("trace") ? cli.get("trace") : script.trace_path;
+  const std::string metrics_path =
+      cli.has("metrics") ? cli.get("metrics") : script.metrics_path;
+  std::ofstream trace_file;
+  std::ofstream metrics_file;
+  std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path, std::ios::binary | std::ios::trunc);
+    if (!trace_file) return fail("cannot write trace file: " + trace_path);
+    trace = std::make_unique<obs::TraceSink>(trace_file);
+  }
+  if (!metrics_path.empty()) {
+    metrics_file.open(metrics_path, std::ios::binary | std::ios::trunc);
+    if (!metrics_file) {
+      return fail("cannot write metrics file: " + metrics_path);
+    }
+    metrics = std::make_unique<obs::MetricsRegistry>(metrics_file);
+  }
+
+  serve::Service service(config, seed);
+  service.set_metrics(metrics.get());
+  service.set_trace(trace.get());
+
+  scenario::ObsSinks sinks;
+  sinks.trace = trace.get();
+  sinks.metrics = metrics.get();
+  sinks.configure_engine = [&service](sim::Engine& engine) {
+    service.attach(engine);
+  };
+
+  const bench::WallTimer timer;
+  const scenario::ScenarioResult sim_result =
+      scenario::run_scenario(script, seed, cli.get_bool("audit"), sinks);
+  // The engine is gone; the final batch may still be in flight against
+  // the last published view — drain() is the run's closing barrier.
+  service.drain();
+  const double wall_ms =
+      bench::Telemetry::deterministic() ? 0.0 : timer.elapsed_ms();
+  if (trace) trace->close();
+  if (metrics) metrics->flush();
+
+  const serve::Report rep = service.report();
+  const std::string experiment = "serve_" + script.name;
+  const std::string cell(serve::traffic_name(config.traffic));
+
+  // NOTE: no record carries --readers or DHTLB_THREADS — the whole file
+  // must byte-compare across the (threads x readers) matrix.
+  std::vector<bench::Record> records;
+  push(records, experiment, cell, "lookups",
+       static_cast<double>(rep.lookups), seed);
+  push(records, experiment, cell, "batches",
+       static_cast<double>(rep.batches), seed);
+  push(records, experiment, cell, "hops_mean", rep.hops_mean, seed);
+  push(records, experiment, cell, "hops_p50", rep.hops_p50, seed);
+  push(records, experiment, cell, "hops_p99", rep.hops_p99, seed);
+  push(records, experiment, cell, "hops_max",
+       static_cast<double>(rep.hops_max), seed);
+  push(records, experiment, cell, "sybil_hit_fraction",
+       rep.sybil_hit_fraction, seed);
+  push(records, experiment, cell, "owners_hit",
+       static_cast<double>(rep.owners_hit), seed);
+  push(records, experiment, cell, "owner_hits_gini", rep.owner_hits_gini,
+       seed);
+  push(records, experiment, cell, "owner_hits_max_over_mean",
+       rep.owner_hits_max_over_mean, seed);
+  push(records, experiment, cell, "views_published",
+       static_cast<double>(rep.views.published), seed);
+  push(records, experiment, cell, "views_reclaimed",
+       static_cast<double>(rep.views.reclaimed), seed);
+  push(records, experiment, cell, "views_retire_depth_max",
+       static_cast<double>(rep.views.retire_depth_max), seed);
+  // Wall-derived rows: metric "wall_ms" so compare_bench.py's value
+  // gate skips them; zero in deterministic mode.
+  push(records, experiment, cell + "/latency_p50_ns", "wall_ms",
+       rep.latency_p50_ns, seed, wall_ms);
+  push(records, experiment, cell + "/latency_p99_ns", "wall_ms",
+       rep.latency_p99_ns, seed, wall_ms);
+  const std::string json = bench::to_json(experiment, records);
+
+  if (!cli.get_bool("quiet")) {
+    std::cout << experiment << " (seed " << seed << ", traffic " << cell
+              << ", " << sim_result.experiment << ")\n";
+    for (const bench::Record& rec : records) {
+      std::printf("  %-28s %.17g\n",
+                  (rec.metric == "wall_ms" ? rec.cell : rec.metric).c_str(),
+                  rec.value);
+    }
+    if (wall_ms > 0.0) {
+      std::printf("  %-28s %.0f\n", "lookups_per_sec",
+                  static_cast<double>(rep.lookups) / (wall_ms / 1000.0));
+      std::printf("  %-28s %.3f\n", "wall_ms", wall_ms);
+    }
+    if (trace) {
+      std::cout << "wrote trace " << trace_path << " ("
+                << trace->event_count()
+                << " events; open in chrome://tracing)\n";
+    }
+    if (metrics) {
+      std::cout << "wrote metrics " << metrics_path << " ("
+                << metrics->rows_written() << " rows)\n";
+    }
+  }
+
+  if (cli.has("check") && !cli.get("check").empty()) {
+    const std::string golden_path = cli.get("check");
+    std::ifstream golden_file(golden_path, std::ios::binary);
+    if (!golden_file) return fail("cannot open golden: " + golden_path);
+    std::ostringstream golden;
+    golden << golden_file.rdbuf();
+    if (golden.str() != json) {
+      std::cerr << "dhtlb_serve: telemetry differs from golden "
+                << golden_path << "\n--- golden ---\n"
+                << golden.str() << "--- got ---\n"
+                << json;
+      return 1;
+    }
+    std::cout << "golden match: " << golden_path << "\n";
+    return 0;
+  }
+
+  if (bench::Telemetry::json_enabled()) {
+    const std::string dir = support::env_string("DHTLB_BENCH_DIR", ".");
+    const std::string path = dir + "/BENCH_" + experiment + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return fail("cannot write " + path);
+    out << json;
+    if (!cli.get_bool("quiet")) std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

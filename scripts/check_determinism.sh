@@ -135,6 +135,36 @@ else
   echo "check_determinism: note — $SCN_BIN not built, skipping trace/metrics check"
 fi
 
+# Serving-plane determinism: dhtlb_serve telemetry must byte-compare
+# across the full (engine threads x reader threads) matrix — both are
+# pure execution knobs.  Deterministic mode zeroes the wall-derived
+# latency rows; every count and value stays exact.
+SERVE_BIN="$BUILD_DIR/examples/dhtlb_serve"
+SERVE_FILE="$(dirname "$0")/../scenarios/serve_churn_soak.scn"
+SERVE_JSON="BENCH_serve_serve_churn_soak.json"
+if [[ -x "$SERVE_BIN" && -f "$SERVE_FILE" ]]; then
+  READER_MATRIX=(${DHTLB_READER_MATRIX:-1 4 8})
+  ref_dir=""
+  for t in "${THREAD_MATRIX[@]}"; do
+    for r in "${READER_MATRIX[@]}"; do
+      mkdir -p "$workdir/serve_t${t}_r${r}"
+      echo "check_determinism: serve telemetry (t$t, r$r)"
+      DHTLB_THREADS="$t" DHTLB_BENCH_DETERMINISTIC=1 \
+        DHTLB_BENCH_DIR="$workdir/serve_t${t}_r${r}" \
+        "$SERVE_BIN" "$SERVE_FILE" --readers "$r" --quiet > /dev/null
+      if [[ -z "$ref_dir" ]]; then
+        ref_dir="$workdir/serve_t${t}_r${r}"
+      else
+        compare "$ref_dir/$SERVE_JSON" \
+                "$workdir/serve_t${t}_r${r}/$SERVE_JSON" \
+          "serve JSON depends on execution knobs (t${THREAD_MATRIX[0]}/r${READER_MATRIX[0]} vs t$t/r$r)"
+      fi
+    done
+  done
+else
+  echo "check_determinism: note — $SERVE_BIN not built, skipping serve check"
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

@@ -174,6 +174,7 @@ ScenarioResult run_sim(const Script& script, std::uint64_t seed,
   engine.set_threads(support::env_threads());
   engine.set_trace(sinks.trace);
   engine.set_metrics(sinks.metrics);
+  if (sinks.configure_engine) sinks.configure_engine(engine);
   Rng vm_rng(support::mix_seed(seed, kVmStream));
   SimCounters counters;
 

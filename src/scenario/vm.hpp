@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "harness/telemetry.hpp"
@@ -31,6 +32,10 @@ namespace dhtlb::obs {
 class MetricsRegistry;
 class TraceSink;
 }  // namespace dhtlb::obs
+
+namespace dhtlb::sim {
+class Engine;
+}  // namespace dhtlb::sim
 
 namespace dhtlb::scenario {
 
@@ -51,6 +56,13 @@ struct ScenarioResult {
 struct ObsSinks {
   obs::TraceSink* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Sim substrate only: invoked on the fully configured engine after
+  /// sinks and threads are wired but before the first tick.  This is
+  /// how drivers attach read-side subsystems (serve::Service installs
+  /// the post-tick hook here) without the VM knowing about them.
+  /// Attachments must not mutate the world, or (script, seed) replay
+  /// determinism — and every scenario golden — breaks.
+  std::function<void(sim::Engine&)> configure_engine;
 };
 
 /// Runs `script` to completion under `seed` and returns its metrics.

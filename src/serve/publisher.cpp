@@ -1,0 +1,45 @@
+#include "serve/publisher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dhtlb::serve {
+
+void ViewPublisher::publish(std::shared_ptr<const RingView> view) {
+  DHTLB_CHECK(view != nullptr, "ViewPublisher::publish: null view");
+  support::WriterLock lock(mu_);
+  if (current_) retired_.push_back(std::move(current_));
+  current_ = std::move(view);
+  ++published_;
+  retire_depth_max_ = std::max(retire_depth_max_, retired_.size());
+  // Reclaim quiescent epochs: under the exclusive lock no acquire() can
+  // copy a retired pointer, so use_count()==1 proves the list holds the
+  // last reference and the view can be dropped.
+  auto quiescent = [](const std::shared_ptr<const RingView>& v) {
+    return v.use_count() == 1;
+  };
+  reclaimed_ += static_cast<std::uint64_t>(
+      std::count_if(retired_.begin(), retired_.end(), quiescent));
+  retired_.erase(
+      std::remove_if(retired_.begin(), retired_.end(), quiescent),
+      retired_.end());
+}
+
+std::shared_ptr<const RingView> ViewPublisher::acquire() const {
+  support::ReaderLock lock(mu_);
+  return current_;
+}
+
+ViewPublisher::Stats ViewPublisher::stats() const {
+  support::ReaderLock lock(mu_);
+  Stats s;
+  s.published = published_;
+  s.reclaimed = reclaimed_;
+  s.retired_pending = retired_.size();
+  s.retire_depth_max = retire_depth_max_;
+  return s;
+}
+
+}  // namespace dhtlb::serve

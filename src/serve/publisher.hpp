@@ -1,0 +1,67 @@
+// ViewPublisher: the RCU swap point between the tick engine (one
+// writer) and the serving plane's readers.
+//
+// Lifecycle (DESIGN.md "Serving plane"):
+//   * publish(view)  — writer side, once per tick barrier: the new view
+//     becomes current, the previous one moves onto the epoch retire
+//     list, and every retired view nobody references anymore is
+//     reclaimed.  Runs under the exclusive side of a SharedMutex.
+//   * acquire()      — reader side: copies the current shared_ptr under
+//     the shared side of the lock.  This is the ONLY synchronized
+//     reader operation, paid once per batch, not per lookup — every
+//     lookup then runs against the immutable RingView with zero locks.
+//
+// Reclamation is epoch-style, not deferred-callback RCU: a retired view
+// stays on the list while any acquirer still holds its shared_ptr
+// (use_count > 1) and is dropped at the next publish once quiescent.
+// Because publish holds the lock exclusively, no acquire() can race the
+// use_count inspection — a count of 1 proves the list holds the last
+// reference.  In the serving plane's barrier pipeline the Service drops
+// its batch reference before each publish, so steady-state retirement
+// is exact (one retired, one reclaimed per tick) and the stats below
+// are deterministic; externally held references just ride the list
+// until released.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/ring_view.hpp"
+#include "support/sync.hpp"
+
+namespace dhtlb::serve {
+
+class ViewPublisher {
+ public:
+  ViewPublisher() = default;
+  ViewPublisher(const ViewPublisher&) = delete;
+  ViewPublisher& operator=(const ViewPublisher&) = delete;
+
+  /// Writer side: swaps `view` in as current, retiring the previous
+  /// view and reclaiming every quiescent entry on the retire list.
+  void publish(std::shared_ptr<const RingView> view) EXCLUDES(mu_);
+
+  /// Reader side: the current view (null before the first publish).
+  /// Hold the returned shared_ptr for the duration of a lookup batch;
+  /// release it promptly so retired epochs can be reclaimed.
+  std::shared_ptr<const RingView> acquire() const EXCLUDES(mu_);
+
+  struct Stats {
+    std::uint64_t published = 0;  // total publish() calls
+    std::uint64_t reclaimed = 0;  // retired views fully released
+    std::size_t retired_pending = 0;   // on the retire list right now
+    std::size_t retire_depth_max = 0;  // worst retire-list depth seen
+  };
+  Stats stats() const EXCLUDES(mu_);
+
+ private:
+  mutable support::SharedMutex mu_;
+  std::shared_ptr<const RingView> current_ GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<const RingView>> retired_ GUARDED_BY(mu_);
+  std::uint64_t published_ GUARDED_BY(mu_) = 0;
+  std::uint64_t reclaimed_ GUARDED_BY(mu_) = 0;
+  std::size_t retire_depth_max_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dhtlb::serve

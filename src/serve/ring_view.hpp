@@ -1,0 +1,98 @@
+// RingView: an immutable snapshot of the simulated ring, built once at a
+// tick barrier and consumed lock-free by any number of reader threads.
+//
+// The serving plane (DESIGN.md "Serving plane") follows the RCU pattern
+// Envoy's ring-hash balancer describes — "generate the rings centrally
+// and then just RCU them out to each thread": the tick engine freezes
+// the flat ring into this struct-of-arrays copy after each tick, the
+// ViewPublisher swaps it in atomically, and readers route key lookups
+// against whichever view they hold without ever touching a lock or the
+// live (mutating) World.
+//
+// A view answers two questions:
+//   * cover(key)  — which vnode owns this key?  Identical semantics to
+//     FlatRing::cover ("first vnode clockwise at or after the point,
+//     wrapping past zero"); the differential test proves bit-equality
+//     against direct flat-ring successor walks.
+//   * route(key, origin) — how many hops would a Chord lookup take?
+//     A greedy perfect-finger walk: from the current vnode, jump to the
+//     vnode covering id + 2^floor(log2(clockwise distance to key)) — the
+//     longest finger that does not overshoot.  Every hop at least halves
+//     the remaining clockwise distance, so the walk terminates in
+//     <= 160 hops and averages ~log2(ring size), the textbook Chord
+//     bound.  This prices each lookup in hops as seen by user traffic,
+//     which the tick loop never measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/flat_ring.hpp"
+#include "sim/world.hpp"
+#include "support/uint160.hpp"
+
+namespace dhtlb::serve {
+
+using sim::NodeIndex;
+using support::Uint160;
+
+class RingView {
+ public:
+  /// Hard ceiling on route() hops.  Unreachable by construction (the
+  /// clockwise distance strictly shrinks every hop and has 160 bits),
+  /// so hitting it means the view is corrupt; route() DHTLB_CHECKs.
+  static constexpr std::uint32_t kMaxHops = 200;
+
+  /// Freezes the world's ring into an immutable snapshot.  O(ring).
+  /// `tick` labels the view (0 = pre-run state).  The ring must be
+  /// non-empty (a live World always is).
+  static RingView freeze(const sim::World& world, std::uint64_t tick);
+
+  std::uint64_t tick() const { return tick_; }
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Physical-node count at freeze time.  Fixed for a whole run (the
+  /// waiting pool is preallocated), so per-owner hit arrays sized once
+  /// stay valid across every view of the run.
+  std::size_t owner_count() const { return owner_count_; }
+
+  const Uint160& id_at(std::size_t i) const { return ids_[i]; }
+  NodeIndex owner_at(std::size_t i) const { return owners_[i]; }
+  bool sybil_at(std::size_t i) const { return sybils_[i] != 0; }
+
+  /// Index of the vnode whose ownership arc covers `key`: the first
+  /// vnode clockwise at or after it, wrapping past zero — exactly
+  /// FlatRing::cover on the frozen ring.
+  std::size_t cover(const Uint160& key) const;
+
+  /// Clockwise neighbor, wrapping — the successor walk on the snapshot.
+  std::size_t next(std::size_t i) const {
+    return i + 1 == ids_.size() ? 0 : i + 1;
+  }
+
+  struct Route {
+    std::size_t index = 0;   // the covering vnode (== cover(key))
+    std::uint32_t hops = 0;  // finger-table hops from the origin
+  };
+
+  /// Simulates a Chord lookup for `key` starting at vnode `origin`
+  /// (an index into this view) with a perfect finger table.  Pure and
+  /// lock-free: reads only the frozen arrays.
+  Route route(const Uint160& key, std::size_t origin) const;
+
+ private:
+  RingView() = default;
+
+  // Struct-of-arrays, ascending-id order (the freeze of FlatRing's
+  // index): binary searches touch only ids_, owner/Sybil metadata loads
+  // only on the final hop.
+  std::vector<Uint160> ids_;
+  std::vector<NodeIndex> owners_;
+  std::vector<std::uint8_t> sybils_;
+  std::size_t owner_count_ = 0;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace dhtlb::serve

@@ -1,0 +1,187 @@
+// The serving plane: batched key lookups over published ring snapshots,
+// running concurrently with the tick engine.
+//
+// Pipeline (one writer — the engine thread — plus `readers` workers):
+//
+//   attach(engine)            publish view 0, dispatch batch 0
+//   tick t barrier (post-tick hook):
+//     1. wait for batch t-1's shard jobs, fold its per-batch stats
+//        (this is where serve metrics for the tick land — one tick of
+//        lag by construction, documented in OBSERVABILITY.md)
+//     2. freeze the post-tick world into RingView t, publish it
+//     3. dispatch batch t across the serve shards
+//   ...engine computes tick t+1 while the readers serve batch t...
+//   drain()                   wait for + fold the final batch
+//
+// Determinism contract (the serve twin of the tick engine's): lookups
+// are split over kServeShards fixed shards; shard s of batch t draws
+// every key and origin from Rng(stream_seed(serve_seed, t, s)); shard
+// accumulators fold in fixed shard order on the barrier thread.  The
+// reader-thread count is purely an execution knob — any --readers and
+// any DHTLB_THREADS produce bit-identical counts, hop statistics and
+// owner-load telemetry (check_determinism.sh enforces it).  The only
+// intentionally nondeterministic outputs are wall-clock latencies,
+// which exist only when measure_latency is on (drivers disable it in
+// deterministic mode, zeroing those fields).
+//
+// Thread-safety model: each ShardAccum is written by exactly one shard
+// job per batch and read/zeroed by the barrier thread strictly between
+// dispatches; the ThreadPool's submit/wait_idle pair provides the
+// happens-before edges, so the accumulators need no locks (and carry no
+// capability annotations — they are phase-owned, not lock-guarded).
+// The RingView handoff is the annotated part: ViewPublisher under its
+// SharedMutex.  Jobs receive a raw pointer to the batch view; the
+// Service keeps the owning shared_ptr in batch_view_ until the batch is
+// collected, then releases it before the next publish so epoch
+// retirement stays exact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/publisher.hpp"
+#include "serve/ring_view.hpp"
+#include "serve/traffic.hpp"
+#include "sim/engine.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dhtlb::serve {
+
+/// Fixed shard count for lookup batches — deliberately NOT the reader
+/// count, for exactly the reason sim::kTickShards is not the worker
+/// count: per-(tick, shard) RNG streams and a fixed fold order make the
+/// results independent of how many threads execute the shards.
+inline constexpr std::size_t kServeShards = 16;
+
+struct Config {
+  /// Reader worker threads (>= 1).  Execution knob only.
+  std::size_t readers = 4;
+  Traffic traffic = Traffic::kZipf;
+  TrafficConfig traffic_config;
+  /// Lookups per batch (one batch per published view; the driver's
+  /// --qps, with the tick as the unit of time).
+  std::uint64_t lookups_per_tick = 2000;
+  /// Record per-lookup wall-clock latency histograms.  Off in
+  /// deterministic mode — the clock is the one serve output that
+  /// cannot be made reproducible.
+  bool measure_latency = false;
+};
+
+/// Folded end-of-run serve statistics.  Everything except the latency
+/// fields is deterministic in (params, scenario, seed, config).
+struct Report {
+  std::uint64_t lookups = 0;
+  std::uint64_t batches = 0;       // views a batch ran against
+  std::uint64_t hops_total = 0;
+  std::uint64_t hops_max = 0;
+  double hops_mean = 0.0;
+  double hops_p50 = 0.0;
+  double hops_p99 = 0.0;
+  /// Fraction of lookups whose final hop landed on a Sybil vnode — how
+  /// much of the traffic the strategy's Sybils actually absorb.
+  double sybil_hit_fraction = 0.0;
+  /// Load as seen by traffic: per-physical-node lookup-hit totals.
+  std::uint64_t owners_hit = 0;    // distinct owners that served >= 1
+  double owner_hits_gini = 0.0;    // over owners with >= 1 hit
+  double owner_hits_max_over_mean = 0.0;
+  ViewPublisher::Stats views;
+  /// Wall-clock per-lookup latency (ns), from log2-bucket histograms;
+  /// all zero unless Config::measure_latency.
+  double latency_p50_ns = 0.0;
+  double latency_p99_ns = 0.0;
+};
+
+class Service {
+ public:
+  /// `run_seed` must be the engine's seed: serve streams derive from
+  /// stream_seed(mix_seed(run_seed, kServeStream), tick, shard), so
+  /// they are decorrelated from every engine and scenario-VM stream.
+  Service(const Config& config, std::uint64_t run_seed);
+  ~Service();  // drains any in-flight batch
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Optional observability sinks; wire them before attach().  Serve
+  /// instruments register on the same registry the engine samples, so
+  /// serve series appear in the per-tick metrics JSONL (one tick of
+  /// lag — batch t's counts land when batch t is collected, at the
+  /// barrier of tick t+1).
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
+  /// Publishes the pre-run view (tick 0), dispatches its batch, and
+  /// installs the engine's post-tick hook.  Call once, before run().
+  void attach(sim::Engine& engine);
+
+  /// The tick barrier (the engine's post-tick hook target): collect the
+  /// in-flight batch, publish the post-tick view, dispatch the next
+  /// batch.  Public for tests and custom drivers.
+  void on_tick_barrier(const sim::World& world, std::uint64_t tick);
+
+  /// Waits for and folds the final batch.  Idempotent; call after the
+  /// run before report().
+  void drain();
+
+  /// Folds the per-shard accumulators (fixed shard order) into the
+  /// end-of-run report.  Call after drain().
+  Report report() const;
+
+  const ViewPublisher& publisher() const { return publisher_; }
+
+ private:
+  static constexpr std::size_t kHopBuckets = 64;   // exact counts 0..62, 63+
+  static constexpr std::size_t kLatBuckets = 64;   // log2(ns) buckets
+
+  void dispatch(std::shared_ptr<const RingView> view, std::uint64_t tick);
+  void collect_batch();
+  void serve_shard(std::size_t shard, const RingView& view,
+                   std::uint64_t tick);
+  std::uint64_t shard_quota(std::size_t shard) const;
+
+  /// Written by one shard job per batch, folded by the barrier thread
+  /// between batches (phase-owned; see the header comment).
+  struct ShardAccum {
+    // Run-long totals.
+    std::uint64_t lookups = 0;
+    std::uint64_t hops = 0;
+    std::uint64_t hops_max = 0;
+    std::uint64_t sybil_hits = 0;
+    std::array<std::uint64_t, kHopBuckets> hop_hist{};
+    std::array<std::uint64_t, kLatBuckets> lat_hist{};
+    std::vector<std::uint64_t> owner_hits;  // sized owner_count at attach
+    // Per-batch deltas (zeroed at dispatch, read at collect).
+    std::uint64_t batch_lookups = 0;
+    std::uint64_t batch_hops = 0;
+  };
+
+  Config config_;
+  std::uint64_t serve_seed_;
+  KeyStream stream_;
+  ViewPublisher publisher_;
+  std::unique_ptr<support::ThreadPool> readers_;
+  std::array<ShardAccum, kServeShards> accums_;
+
+  // Barrier-thread state.
+  std::shared_ptr<const RingView> batch_view_;  // owns the in-flight view
+  std::uint64_t batch_tick_ = 0;
+  bool batch_in_flight_ = false;
+  std::uint64_t batches_ = 0;
+
+  // Observability (nullable).
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct MetricIds {
+    obs::MetricsRegistry::Id lookups = 0;
+    obs::MetricsRegistry::Id hops = 0;
+    obs::MetricsRegistry::Id view_vnodes = 0;
+    obs::MetricsRegistry::Id views_retired = 0;
+  };
+  MetricIds ids_{};  // valid only while metrics_ != nullptr
+};
+
+}  // namespace dhtlb::serve

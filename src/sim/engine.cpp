@@ -301,6 +301,11 @@ bool Engine::step() {
   world_.debit_remaining(done_this_tick);
   completed_ += done_this_tick;
   if (record_series_) series_.push_back(done_this_tick);
+  // Tick barrier: the world is folded and quiescent; hand it to the
+  // serving plane (or any other read-side attachment) before this
+  // tick's observation and snapshots, so those see any metrics the
+  // hook's fold publishes.
+  if (post_tick_hook_) post_tick_hook_(tick_);
   if (trace_ || metrics_) observe_tick(done_this_tick);
 
   if (!snapshot_ticks_.empty()) {

@@ -90,6 +90,17 @@ class Engine {
   using TickHook = std::function<bool(std::uint64_t tick)>;
   void set_pre_tick_hook(TickHook hook) { pre_tick_hook_ = std::move(hook); }
 
+  /// Tick-barrier hook (the serving plane's entry point): invoked at the
+  /// end of every completed tick — after the consumption fold and the
+  /// remaining-task debit, before observation, snapshots, and the audit
+  /// — with the 1-based tick number that just ran.  The world is fully
+  /// folded and quiescent at that point, so the hook may read it freely
+  /// (e.g. to freeze a serve::RingView) but must not mutate it.
+  using PostTickHook = std::function<void(std::uint64_t tick)>;
+  void set_post_tick_hook(PostTickHook hook) {
+    post_tick_hook_ = std::move(hook);
+  }
+
   /// Hot-swaps the balancing strategy mid-run (scenario `strategy`
   /// event).  Counters accumulate across the swap; nullptr reverts to
   /// the paper's no-strategy baseline.
@@ -205,6 +216,7 @@ class Engine {
   std::vector<std::uint64_t> series_;
   std::vector<double> obs_loads_;  // reused histogram batch buffer
   TickHook pre_tick_hook_;
+  PostTickHook post_tick_hook_;
 
   // Observability (both sinks nullable; see set_trace/set_metrics).
   obs::TraceSink* trace_ = nullptr;

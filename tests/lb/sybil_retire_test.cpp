@@ -1,0 +1,97 @@
+// The DHTLB_SYBIL_RETIRE aggressive-retirement knob (lb/common.hpp):
+// bounds Sybil populations under sustained overload, where the paper's
+// idle-only rule never fires.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "lb/common.hpp"
+#include "sim/params.hpp"
+#include "sim/world.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::lb {
+namespace {
+
+class SybilRetireTest : public ::testing::Test {
+ protected:
+  SybilRetireTest() : rng_(3), world_(params(), rng_) {}
+  ~SybilRetireTest() override {
+    set_sybil_retire_cap_for_testing(std::nullopt);
+  }
+
+  static sim::Params params() {
+    sim::Params p;
+    p.initial_nodes = 32;
+    p.total_tasks = 3200;  // every node starts loaded
+    p.max_sybils = 8;
+    return p;
+  }
+
+  /// Gives `idx` a Sybil halfway along an arbitrary empty gap.
+  void add_sybils(sim::NodeIndex idx, int count) {
+    for (int i = 0; i < count; ++i) {
+      const support::Uint160 id =
+          rng_.uniform_u160();  // collisions are vanishingly unlikely
+      if (!world_.ring_contains(id)) {
+        (void)world_.create_sybil(idx, id);
+      }
+    }
+  }
+
+  support::Rng rng_;
+  sim::World world_;
+  sim::StrategyCounters counters_;
+};
+
+TEST_F(SybilRetireTest, LoadedNodeKeepsSybilsByDefault) {
+  const sim::NodeIndex idx = world_.alive_indices().front();
+  add_sybils(idx, 3);
+  ASSERT_GT(world_.workload(idx), 0u);
+  ASSERT_EQ(world_.sybil_count(idx), 3u);
+
+  // Paper semantics (cap disabled): loaded nodes never retire.
+  set_sybil_retire_cap_for_testing(std::uint64_t{0});
+  EXPECT_EQ(retire_idle_sybils(world_, idx, counters_), 0u);
+  EXPECT_EQ(world_.sybil_count(idx), 3u);
+  EXPECT_EQ(counters_.sybils_retired, 0u);
+}
+
+TEST_F(SybilRetireTest, CapRetiresLoadedNodeAtOrAboveCap) {
+  const sim::NodeIndex idx = world_.alive_indices().front();
+  add_sybils(idx, 4);
+  ASSERT_GT(world_.workload(idx), 0u);
+
+  // Below the cap: untouched.
+  set_sybil_retire_cap_for_testing(std::uint64_t{5});
+  EXPECT_EQ(retire_idle_sybils(world_, idx, counters_), 0u);
+  EXPECT_EQ(world_.sybil_count(idx), 4u);
+
+  // At the cap: all Sybils go, even though the node is loaded.
+  set_sybil_retire_cap_for_testing(std::uint64_t{4});
+  EXPECT_EQ(retire_idle_sybils(world_, idx, counters_), 4u);
+  EXPECT_EQ(world_.sybil_count(idx), 0u);
+  EXPECT_EQ(counters_.sybils_retired, 4u);
+  // The node itself keeps its primary vnode and its tasks.
+  EXPECT_GT(world_.workload(idx), 0u);
+}
+
+TEST_F(SybilRetireTest, IdleRetirementStillFiresWithCapSet) {
+  // Make an idle node: give it Sybils first (placement may acquire
+  // tasks from the split arcs), then drain everything it holds.
+  const sim::NodeIndex idx = world_.alive_indices().front();
+  add_sybils(idx, 2);
+  while (world_.workload(idx) > 0) {
+    const std::uint64_t got = world_.consume(idx, world_.workload(idx));
+    world_.debit_remaining(got);
+  }
+  ASSERT_EQ(world_.workload(idx), 0u);
+  ASSERT_EQ(world_.sybil_count(idx), 2u);
+
+  set_sybil_retire_cap_for_testing(std::uint64_t{100});  // far above
+  EXPECT_EQ(retire_idle_sybils(world_, idx, counters_), 2u);
+  EXPECT_EQ(world_.sybil_count(idx), 0u);
+}
+
+}  // namespace
+}  // namespace dhtlb::lb

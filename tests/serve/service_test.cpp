@@ -1,0 +1,166 @@
+// serve::Service: the full pipeline — view publication at tick
+// barriers, concurrent shard batches, deterministic folds — hammered
+// under churn.  The ConcurrentServeUnderChurn case is the TSan target
+// (8 readers racing the engine thread through every published view);
+// the invariance cases pin the determinism contract: results are
+// bit-identical at any reader count and any engine thread count.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/params.hpp"
+
+namespace dhtlb::serve {
+namespace {
+
+sim::Params churny_params() {
+  sim::Params p;
+  p.initial_nodes = 300;
+  p.total_tasks = 6000;
+  p.churn_rate = 0.08;
+  return p;
+}
+
+struct RunOutput {
+  sim::RunResult sim;
+  Report serve;
+};
+
+RunOutput run_serve(std::size_t engine_threads, std::size_t readers,
+                    std::uint64_t seed, bool latency = false) {
+  sim::Engine engine(churny_params(), seed,
+                     lb::make_strategy("random-injection"));
+  engine.set_threads(engine_threads);
+  Config config;
+  config.readers = readers;
+  config.traffic = Traffic::kZipf;
+  config.traffic_config.key_universe = 2000;
+  config.lookups_per_tick = 800;
+  config.measure_latency = latency;
+  Service service(config, seed);
+  service.attach(engine);
+  RunOutput out;
+  out.sim = engine.run();
+  service.drain();
+  out.serve = service.report();
+  return out;
+}
+
+/// Field-by-field equality of everything deterministic in a Report.
+/// Doubles compare exactly: identical draws + identical fold order must
+/// produce identical bits, not merely close values.
+void expect_reports_identical(const Report& a, const Report& b) {
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.hops_total, b.hops_total);
+  EXPECT_EQ(a.hops_max, b.hops_max);
+  EXPECT_EQ(a.hops_mean, b.hops_mean);
+  EXPECT_EQ(a.hops_p50, b.hops_p50);
+  EXPECT_EQ(a.hops_p99, b.hops_p99);
+  EXPECT_EQ(a.sybil_hit_fraction, b.sybil_hit_fraction);
+  EXPECT_EQ(a.owners_hit, b.owners_hit);
+  EXPECT_EQ(a.owner_hits_gini, b.owner_hits_gini);
+  EXPECT_EQ(a.owner_hits_max_over_mean, b.owner_hits_max_over_mean);
+  EXPECT_EQ(a.views.published, b.views.published);
+  EXPECT_EQ(a.views.reclaimed, b.views.reclaimed);
+  EXPECT_EQ(a.views.retired_pending, b.views.retired_pending);
+  EXPECT_EQ(a.views.retire_depth_max, b.views.retire_depth_max);
+}
+
+TEST(ServiceTest, ConcurrentServeUnderChurn) {
+  // 8 readers hammering views while a churn-heavy, Sybil-spawning run
+  // republishes the ring every tick.  Run under the tsan preset (the
+  // tsan-serve-soak CI lane) this is the data-race probe for the whole
+  // serve plane.
+  const RunOutput out = run_serve(4, 8, 0xC0DE, /*latency=*/true);
+  ASSERT_TRUE(out.sim.completed);
+
+  // One batch per published view: the pre-run view plus one per tick.
+  EXPECT_EQ(out.serve.batches, out.sim.ticks + 1);
+  EXPECT_EQ(out.serve.views.published, out.sim.ticks + 1);
+  EXPECT_EQ(out.serve.lookups, out.serve.batches * 800);
+
+  // Steady-state epoch retirement: each publish retires the previous
+  // view after its batch released it — nothing accumulates.
+  EXPECT_EQ(out.serve.views.reclaimed, out.serve.views.published - 1);
+  EXPECT_EQ(out.serve.views.retired_pending, 0u);
+  EXPECT_EQ(out.serve.views.retire_depth_max, 1u);
+
+  // Perfect-finger routing on a ~600-vnode ring: log-ish hops.
+  EXPECT_GT(out.serve.hops_mean, 1.0);
+  EXPECT_LT(out.serve.hops_mean, 20.0);
+  EXPECT_LE(out.serve.hops_max, 30u);
+  EXPECT_GE(out.serve.hops_p99, out.serve.hops_p50);
+
+  // random-injection floods the ring with Sybils; traffic must see
+  // them, and the owner-load telemetry must cover a real population.
+  EXPECT_GT(out.serve.sybil_hit_fraction, 0.0);
+  EXPECT_GT(out.serve.owners_hit, 0u);
+  EXPECT_GT(out.serve.owner_hits_max_over_mean, 1.0);
+  EXPECT_GT(out.serve.latency_p99_ns, 0.0);
+}
+
+TEST(ServiceTest, ResultsInvariantAcrossReaderCounts) {
+  const RunOutput r1 = run_serve(1, 1, 42);
+  const RunOutput r4 = run_serve(1, 4, 42);
+  const RunOutput r8 = run_serve(1, 8, 42);
+  ASSERT_EQ(r1.sim.ticks, r4.sim.ticks);
+  ASSERT_EQ(r1.sim.ticks, r8.sim.ticks);
+  expect_reports_identical(r1.serve, r4.serve);
+  expect_reports_identical(r1.serve, r8.serve);
+}
+
+TEST(ServiceTest, ResultsInvariantAcrossEngineThreadCounts) {
+  const RunOutput t1 = run_serve(1, 3, 7);
+  const RunOutput t4 = run_serve(4, 3, 7);
+  const RunOutput t8 = run_serve(8, 3, 7);
+  // The engine's own outputs are thread-invariant...
+  ASSERT_EQ(t1.sim.ticks, t4.sim.ticks);
+  ASSERT_EQ(t1.sim.ticks, t8.sim.ticks);
+  // ...and so is everything the serve plane computed from its views.
+  expect_reports_identical(t1.serve, t4.serve);
+  expect_reports_identical(t1.serve, t8.serve);
+}
+
+TEST(ServiceTest, ResultsChangeWithSeedAndTraffic) {
+  const RunOutput a = run_serve(1, 2, 1);
+  const RunOutput b = run_serve(1, 2, 2);
+  // Different seeds → different worlds and key streams; collision of
+  // every fold at once is implausible.
+  EXPECT_NE(a.serve.hops_total, b.serve.hops_total);
+}
+
+TEST(ServiceTest, DrainIsIdempotentAndReportRepeats) {
+  sim::Engine engine(churny_params(), 9);
+  Config config;
+  config.readers = 2;
+  config.lookups_per_tick = 100;
+  Service service(config, 9);
+  service.attach(engine);
+  (void)engine.run();
+  service.drain();
+  service.drain();  // second drain is a no-op
+  const Report first = service.report();
+  const Report second = service.report();
+  expect_reports_identical(first, second);
+}
+
+TEST(ServiceTest, ShardQuotasCoverRaggedLookupCounts) {
+  // 1003 = 62*16 + 11: lookups_per_tick that doesn't divide by the
+  // shard count must neither drop nor duplicate lookups.
+  sim::Engine engine(churny_params(), 11);
+  Config config;
+  config.readers = 3;
+  config.lookups_per_tick = 1003;
+  Service service(config, 11);
+  service.attach(engine);
+  (void)engine.run();
+  service.drain();
+  const Report rep = service.report();
+  EXPECT_EQ(rep.lookups, rep.batches * 1003);
+}
+
+}  // namespace
+}  // namespace dhtlb::serve

@@ -1,0 +1,105 @@
+// KeyStream: traffic-model parsing, distribution shape, and the
+// determinism guarantees the serve goldens rest on.
+#include "serve/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "support/ring_math.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::serve {
+namespace {
+
+TEST(TrafficTest, ParseAndNameRoundTrip) {
+  for (const Traffic t :
+       {Traffic::kUniform, Traffic::kZipf, Traffic::kHotspot}) {
+    const auto parsed = parse_traffic(traffic_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(parse_traffic("pareto").has_value());
+  EXPECT_FALSE(parse_traffic("").has_value());
+}
+
+TEST(TrafficTest, DrawsAreDeterministicInSeedAndStream) {
+  TrafficConfig config;
+  config.key_universe = 1000;
+  for (const Traffic t :
+       {Traffic::kUniform, Traffic::kZipf, Traffic::kHotspot}) {
+    const KeyStream a(t, config, 99);
+    const KeyStream b(t, config, 99);
+    support::Rng rng_a(7);
+    support::Rng rng_b(7);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(a.draw(rng_a), b.draw(rng_b));
+    }
+  }
+}
+
+TEST(TrafficTest, ZipfHeadDominates) {
+  TrafficConfig config;
+  config.key_universe = 1000;
+  const KeyStream stream(Traffic::kZipf, config, 5);
+
+  // Identify the rank-0 key: it is the single most frequent draw, with
+  // probability 1/H(1000) ~ 13% — far above rank 999's 0.013%.
+  support::Rng rng(11);
+  std::map<Uint160, int> counts;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[stream.draw(rng)];
+  int best = 0;
+  for (const auto& [key, count] : counts) best = std::max(best, count);
+  // Expected ~2670; allow wide slack, but it must dominate uniform's
+  // draws/1000 = 20.
+  EXPECT_GT(best, draws / 20);
+  // The universe bound holds: never more than 1000 distinct keys.
+  EXPECT_LE(counts.size(), 1000u);
+}
+
+TEST(TrafficTest, HotspotConcentratesInArc) {
+  TrafficConfig config;
+  config.hotspot_fraction = 0.9;
+  config.hotspot_arc = 0.015625;
+  const KeyStream stream(Traffic::kHotspot, config, 77);
+
+  support::Rng rng(13);
+  const int draws = 10000;
+  int inside = 0;
+  for (int i = 0; i < draws; ++i) {
+    const Uint160 key = stream.draw(rng);
+    if (support::in_open_arc(key, stream.hot_start(), stream.hot_end())) {
+      ++inside;
+    }
+  }
+  // ~90% + the ~1.6% of background mass that lands in the arc anyway.
+  EXPECT_GT(inside, draws * 85 / 100);
+  EXPECT_LT(inside, draws * 95 / 100);
+}
+
+TEST(TrafficTest, HotspotArcPositionDerivesFromRunSeed) {
+  TrafficConfig config;
+  const KeyStream a(Traffic::kHotspot, config, 1);
+  const KeyStream b(Traffic::kHotspot, config, 1);
+  const KeyStream c(Traffic::kHotspot, config, 2);
+  EXPECT_EQ(a.hot_start(), b.hot_start());
+  EXPECT_EQ(a.hot_end(), b.hot_end());
+  EXPECT_NE(a.hot_start(), c.hot_start());
+}
+
+TEST(TrafficTest, UniformCoversTheRing) {
+  const KeyStream stream(Traffic::kUniform, TrafficConfig{}, 3);
+  support::Rng rng(17);
+  // Bucket the top 3 bits: all 8 octants of the ring get draws.
+  std::vector<int> octants(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    const Uint160 key = stream.draw(rng);
+    ++octants[key.limbs()[0] >> 29];
+  }
+  for (const int n : octants) EXPECT_GT(n, 0);
+}
+
+}  // namespace
+}  // namespace dhtlb::serve
