@@ -9,12 +9,19 @@
 // is "how balanced is the ring while work is flowing", and a bounded
 // horizon keeps the lane's wall time predictable across strategies.
 //
-// Env knobs: DHTLB_DENSE_NODES (default 10k; nightly sets 100k — at
-// 1M the strategies' Sybil populations under sustained overload blow
-// past a CI runner's memory, see EXPERIMENTS.md), DHTLB_DENSE_TICKS
-// (default 100), DHTLB_TRIALS, DHTLB_SEED, DHTLB_THREADS (nightly
-// sets 0 = all cores; outputs are thread-count independent so the
-// committed baseline still gates values bit-for-bit).
+// Env knobs: DHTLB_DENSE_NODES (default 10k; nightly sets 1M),
+// DHTLB_DENSE_TICKS (default 100), DHTLB_DENSE_PROVISIONING
+// ("streamed", the default, or "preallocated"), DHTLB_TRIALS,
+// DHTLB_SEED, DHTLB_THREADS (nightly sets 0 = all cores; outputs are
+// thread-count independent so the committed baseline still gates
+// values bit-for-bit).
+//
+// Provisioning: preallocated mode materializes 2*nodes*horizon keys at
+// tick 0 — ~10 GiB at 1M nodes, which is what kept the nightly grid at
+// 100k (EXPERIMENTS.md "Memory trajectory").  Streamed mode (the
+// default) delivers the same job through a sim::TaskStream at an
+// arrival rate matched to capacity, so resident tasks track the
+// backlog and the full 1M all-strategy grid fits a standard runner.
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -26,6 +33,7 @@
 #include "sim/params.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/load_metrics.hpp"
+#include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -44,12 +52,20 @@ int main() {
   const std::uint64_t horizon = support::env_u64("DHTLB_DENSE_TICKS", 100);
   const std::uint64_t trials = support::env_trials(3);
   const std::size_t threads = support::env_threads();
+  const std::string provisioning =
+      support::env_string("DHTLB_DENSE_PROVISIONING", "streamed");
+  const bool streamed = provisioning == "streamed";
+  DHTLB_CHECK(streamed || provisioning == "preallocated",
+              "DHTLB_DENSE_PROVISIONING must be 'streamed' or "
+              "'preallocated', got '" << provisioning << "'");
 
   std::printf("=== tableD_dense_scale — all strategies under churn ===\n");
-  std::printf("%zu nodes, %llu-tick horizon, %llu trial(s), seed %llu\n\n",
+  std::printf("%zu nodes, %llu-tick horizon, %llu trial(s), seed %llu, "
+              "%s provisioning\n\n",
               nodes, static_cast<unsigned long long>(horizon),
               static_cast<unsigned long long>(trials),
-              static_cast<unsigned long long>(base_seed));
+              static_cast<unsigned long long>(base_seed),
+              provisioning.c_str());
 
   support::TextTable table({"strategy", "done frac", "gini", "stddev",
                             "joins+leaves", "wall ms"});
@@ -81,6 +97,15 @@ int main() {
       p.total_tasks = 2 * nodes * horizon;
       p.churn_rate = 0.02;
       p.max_ticks = horizon;
+      if (streamed) {
+        // Auto arrival window (= the ideal runtime): arrivals flow at
+        // exactly the initial capacity, so the ring is under steady
+        // per-tick load for the whole horizon while the resident
+        // backlog stays bounded — that bound is what lets this lane
+        // run at 1M nodes inside a CI runner's memory budget.
+        p.provisioning = sim::TaskProvisioning::kStreamed;
+        p.arrival_ticks = 0;
+      }
 
       sim::Engine engine(p, support::mix_seed(base_seed, trial),
                          lb::make_strategy(strategy));

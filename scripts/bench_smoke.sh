@@ -32,6 +32,7 @@ SMOKE_BINARIES=(
   table2_churn
   tableF_future_work
   fig4_6_churn_histograms
+  task_stream
 )
 # Reduced trial counts keep the smoke run quick while still exercising
 # the batched trial fan.

@@ -12,7 +12,8 @@
 #     the reference count, catching nondeterminism unrelated to threads)
 #   * one reduced-trial bench binary's BENCH_*.json telemetry
 #     (DHTLB_BENCH_DETERMINISTIC=1 zeroes wall_ms)
-#   * a canned scenario's telemetry JSON
+#   * a canned scenario's telemetry JSON, and the streamed-provisioning
+#     scenario's (its arrival folds are a parallel phase of their own)
 #   * the scenario's trace + metrics observability artifacts, plus the
 #     sinks-attached run's telemetry vs the plain run's (observation
 #     must not perturb the simulation)
@@ -109,6 +110,27 @@ if [[ -x "$SCN_BIN" && -f "$SCN_FILE" ]]; then
   done
 else
   echo "check_determinism: note — $SCN_BIN not built, skipping scenario JSON check"
+fi
+
+# Streamed-provisioning determinism: the arrival phase adds a third
+# parallel fold (per-(tick, shard) key draws) between churn and
+# consumption; the streamed scenario's telemetry must be as
+# thread-inert as the preallocated one's.
+STREAM_FILE="$(dirname "$0")/../scenarios/streamed_overload.scn"
+STREAM_JSON="BENCH_scenario_streamed_overload.json"
+if [[ -x "$SCN_BIN" && -f "$STREAM_FILE" ]]; then
+  for t in "${THREAD_MATRIX[@]}"; do
+    mkdir -p "$workdir/stream$t"
+    echo "check_determinism: streamed scenario telemetry (t$t)"
+    DHTLB_THREADS="$t" DHTLB_BENCH_DIR="$workdir/stream$t" \
+      "$SCN_BIN" "$STREAM_FILE" --quiet > /dev/null
+  done
+  for t in "${THREAD_MATRIX[@]:1}"; do
+    compare "$workdir/stream$REF/$STREAM_JSON" "$workdir/stream$t/$STREAM_JSON" \
+      "streamed scenario JSON depends on thread count (t$REF vs t$t)"
+  done
+else
+  echo "check_determinism: note — streamed scenario unavailable, skipping"
 fi
 
 # Observability determinism: trace + metrics files from the same

@@ -355,6 +355,22 @@ Script Script::parse(std::string_view text, std::string_view filename) {
       script.params.decision_period = cur.parse_u64(tokens[1],
                                                     "decision period");
       sim_only_keys.emplace(head, cur.line);
+    } else if (head == "provisioning") {
+      cur.expect_tokens(tokens, 2, "provisioning preallocated|streamed");
+      if (tokens[1] == "preallocated") {
+        script.params.provisioning = sim::TaskProvisioning::kPreallocated;
+      } else if (tokens[1] == "streamed") {
+        script.params.provisioning = sim::TaskProvisioning::kStreamed;
+      } else {
+        cur.fail("unknown provisioning '" + tokens[1] +
+                 "' (expected preallocated or streamed)");
+      }
+      sim_only_keys.emplace(head, cur.line);
+    } else if (head == "arrival-ticks") {
+      cur.expect_tokens(tokens, 2, "arrival-ticks <ticks>");
+      script.params.arrival_ticks = cur.parse_u64(tokens[1],
+                                                  "arrival ticks");
+      sim_only_keys.emplace(head, cur.line);
     } else if (head == "mark-failed-ranges") {
       cur.expect_tokens(tokens, 2, "mark-failed-ranges true|false");
       script.params.mark_failed_ranges =

@@ -22,6 +22,9 @@ enum TickStream : std::uint64_t {
   kStreamJoinPlace = 3,   // join placement IDs (sequential)
   kStreamDecide = 4,      // strategy decision draws (sequential)
   kStreamConsume = 5,     // per-shard uniform task picks
+  // Label 6 (per-shard streamed-arrival key draws) is owned by
+  // sim::kStreamArrive in task_stream.hpp — the TaskStream derives it
+  // from the same per-tick root itself.
 };
 
 }  // namespace
@@ -35,6 +38,17 @@ Engine::Engine(const Params& params, std::uint64_t seed,
   // tick still counts as a tick.
   const std::uint64_t capacity = world_.initial_capacity();
   ideal_ticks_ = (params_.total_tasks + capacity - 1) / capacity;
+  if (params_.provisioning == TaskProvisioning::kStreamed) {
+    // Auto arrival window = the ideal runtime, so the arrival rate
+    // matches initial capacity and the backlog stays bounded.  An
+    // explicit window can stretch the job; the ideal can never beat the
+    // last arrival, so the window is a floor on ideal_ticks_.
+    const std::uint64_t window =
+        params_.arrival_ticks != 0 ? params_.arrival_ticks : ideal_ticks_;
+    stream_ = std::make_unique<TaskStream>(seed_, params_.total_tasks,
+                                           window);
+    ideal_ticks_ = std::max(ideal_ticks_, window);
+  }
   cap_ = params_.effective_max_ticks(ideal_ticks_);
 }
 
@@ -143,6 +157,31 @@ void Engine::churn_step(std::uint64_t tick_seed) {
   }
 }
 
+void Engine::arrival_step() {
+  tick_arrived_ = 0;
+  if (!stream_ || stream_->count_at(tick_) == 0) return;
+  // Key draws are embarrassingly parallel — each (tick, shard) cell owns
+  // its RNG stream and its own staging vector.  Insertion splits and
+  // workload bumps can land on any arc, so the fold below applies the
+  // staged keys sequentially in fixed shard order, exactly like the
+  // churn folds.
+  for_each_shard([&](std::size_t s) {
+    ShardScratch& shard = shards_[s];
+    shard.arrivals.clear();
+    stream_->draw_shard(tick_, s, shard.arrivals);
+  });
+  std::uint64_t arrived = 0;
+  for (auto& shard : shards_) {
+    for (const TaskKey& key : shard.arrivals) {
+      world_.inject_task(key);
+    }
+    arrived += shard.arrivals.size();
+  }
+  stream_arrived_ += arrived;
+  tick_arrived_ = arrived;
+  if (trace_) trace_->instant("arrivals", "stream", {{"count", arrived}});
+}
+
 void Engine::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (metrics_ == nullptr) return;
@@ -160,6 +199,11 @@ void Engine::set_metrics(obs::MetricsRegistry* metrics) {
   ids_.churn_leaves = metrics_->counter("churn_leaves", "nodes");
   ids_.tasks_migrated = metrics_->counter("tasks_migrated", "tasks");
   ids_.workload_queries = metrics_->counter("workload_queries", "queries");
+  // Registered only when a stream exists so preallocated metrics files
+  // (and their goldens) keep the exact pre-streaming catalog.
+  if (stream_) {
+    ids_.tasks_arrived = metrics_->counter("tasks_arrived", "tasks");
+  }
 }
 
 void Engine::observe_tick(std::uint64_t done_this_tick) {
@@ -201,6 +245,9 @@ void Engine::observe_tick(std::uint64_t done_this_tick) {
     metrics_->add(ids_.workload_queries,
                   static_cast<double>(strategy_counters_.workload_queries -
                                       obs_prev_counters_.workload_queries));
+    if (stream_) {
+      metrics_->add(ids_.tasks_arrived, static_cast<double>(tick_arrived_));
+    }
     metrics_->sample(tick_);
   }
   if (trace_ != nullptr) {
@@ -242,12 +289,18 @@ bool Engine::step() {
   // events scheduled later.
   bool keep_alive = false;
   if (pre_tick_hook_) keep_alive = pre_tick_hook_(tick_ + 1);
-  if (world_.remaining_tasks() == 0 && !keep_alive) return false;
+  // A drained world is still mid-run while the arrival stream has tasks
+  // left to deliver (streamed provisioning's analogue of "work remains").
+  const bool stream_pending = stream_ && !stream_->exhausted_after(tick_);
+  if (world_.remaining_tasks() == 0 && !stream_pending && !keep_alive) {
+    return false;
+  }
   ++tick_;
   // Root of this tick's RNG stream tree (see TickStream above).
   const std::uint64_t tick_seed = support::mix_seed(seed_, tick_);
 
   churn_step(tick_seed);
+  arrival_step();
 
   if (strategy_ && tick_ % params_.decision_period == 0) {
     // Decisions mutate the ring globally (Sybil arcs split anywhere), so
@@ -317,9 +370,11 @@ bool Engine::step() {
   }
   if (audit_enabled_) run_audit();
   // With a timeline hook attached, a drained world is not necessarily the
-  // end — the next step() consults the hook before giving up.
+  // end — the next step() consults the hook before giving up.  Likewise a
+  // still-flowing arrival stream keeps a drained engine ticking.
   if (pre_tick_hook_) return tick_ < cap_;
-  return world_.remaining_tasks() > 0 && tick_ < cap_;
+  const bool more_arrivals = stream_ && !stream_->exhausted_after(tick_);
+  return (world_.remaining_tasks() > 0 || more_arrivals) && tick_ < cap_;
 }
 
 void Engine::run_audit() const {
@@ -330,6 +385,14 @@ void Engine::run_audit() const {
   if (completed_ + world_.remaining_tasks() != world_.total_tasks()) {
     report.failures.push_back(
         {"conservation", "completed + remaining != tasks ever assigned"});
+  }
+  // Streamed provisioning: the tasks actually delivered must equal the
+  // schedule's closed-form prefix sum — the stream can neither drop nor
+  // duplicate an arrival without this tripping.
+  if (stream_ && stream_arrived_ != stream_->cumulative(tick_)) {
+    report.failures.push_back(
+        {"conservation",
+         "stream arrivals diverge from the schedule's closed-form count"});
   }
   std::uint64_t live_sybils = 0;
   for (const NodeIndex idx : world_.alive_indices()) {
@@ -363,7 +426,10 @@ void Engine::finalize(RunResult& result) const {
                               ? 0.0
                               : static_cast<double>(tick_) /
                                     static_cast<double>(ideal_ticks_);
-  result.completed = world_.remaining_tasks() == 0;
+  // A streamed run that hit the cap mid-delivery is incomplete even if
+  // the backlog happens to be empty.
+  result.completed = world_.remaining_tasks() == 0 &&
+                     (!stream_ || stream_->exhausted_after(tick_));
   result.avg_work_per_tick =
       tick_ == 0 ? 0.0
                  : static_cast<double>(world_.total_tasks() -

@@ -3,13 +3,16 @@
 // ideal runtime, runtime factor, average work per tick, plus workload
 // snapshots and strategy event counters.
 //
-// Tick anatomy (1-based tick t):
+// Tick anatomy (1-based tick t; DESIGN.md §0 walks one tick end to end):
 //   1. churn       — each alive node leaves w.p. churn_rate; each waiting
 //                    node joins w.p. churn_rate (§IV-A)
-//   2. decision    — strategy->decide() when t % decision_period == 0
-//   3. consumption — each alive node consumes work_per_tick tasks
-//   4. snapshot    — if t was requested (tick 0 = initial state)
-// The run ends when no tasks remain (or the safety cap trips).
+//   2. arrivals    — streamed provisioning only: this tick's TaskStream
+//                    keys are drawn per shard and folded into the ring
+//   3. decision    — strategy->decide() when t % decision_period == 0
+//   4. consumption — each alive node consumes work_per_tick tasks
+//   5. snapshot    — if t was requested (tick 0 = initial state)
+// The run ends when no tasks remain and none are still scheduled to
+// arrive (or the safety cap trips).
 //
 // Parallel execution (see DESIGN.md "Parallel tick engine"): the alive
 // population is partitioned into kTickShards contiguous ring arcs by
@@ -39,6 +42,7 @@
 #include "sim/params.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/strategy.hpp"
+#include "sim/task_stream.hpp"
 #include "sim/world.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -164,8 +168,14 @@ class Engine {
   /// Snapshot of the current state (used internally and by examples).
   Snapshot capture(std::uint64_t tick) const;
 
+  /// Streamed provisioning only: the run's arrival source (null in
+  /// preallocated mode).  Exposed for tests and drivers that want the
+  /// schedule (e.g. to size expectations against cumulative()).
+  const TaskStream* task_stream() const { return stream_.get(); }
+
  private:
   void churn_step(std::uint64_t tick_seed);
+  void arrival_step();
   void run_audit() const;
   void finalize(RunResult& result) const;
   void observe_tick(std::uint64_t done_this_tick);
@@ -195,10 +205,17 @@ class Engine {
   struct ShardScratch {
     std::vector<NodeIndex> members;     // this tick's shard partition
     std::vector<NodeIndex> departures;  // churn draw results, pre-fold
+    std::vector<TaskKey> arrivals;      // streamed task keys, pre-fold
     std::uint64_t consumed = 0;         // consumption total, pre-fold
     std::uint64_t join_draws = 0;       // Binomial successes, pre-fold
   };
   std::array<ShardScratch, kTickShards> shards_;
+  // Streamed provisioning state (both unset in preallocated mode):
+  // the arrival source and the running count of stream-delivered tasks,
+  // audited each tick against the schedule's closed-form prefix sum.
+  std::unique_ptr<TaskStream> stream_;
+  std::uint64_t stream_arrived_ = 0;
+  std::uint64_t tick_arrived_ = 0;  // this tick's arrivals, for metrics
   std::unique_ptr<support::ThreadPool> pool_;  // null = inline execution
 #ifdef DHTLB_AUDIT_ENABLED
   bool audit_enabled_ = true;
@@ -233,6 +250,7 @@ class Engine {
     obs::MetricsRegistry::Id churn_leaves = 0;
     obs::MetricsRegistry::Id tasks_migrated = 0;
     obs::MetricsRegistry::Id workload_queries = 0;
+    obs::MetricsRegistry::Id tasks_arrived = 0;  // streamed mode only
   };
   MetricIds ids_{};  // valid only while metrics_ != nullptr
   // Previous cumulative values, for per-tick deltas fed to counters and

@@ -25,6 +25,10 @@ void Params::validate() const {
   if (decision_period == 0) {
     throw std::invalid_argument("Params: decision_period must be >= 1");
   }
+  if (arrival_ticks != 0 && provisioning != TaskProvisioning::kStreamed) {
+    throw std::invalid_argument(
+        "Params: arrival_ticks requires streamed provisioning");
+  }
 }
 
 std::uint64_t Params::effective_max_ticks(std::uint64_t ideal_ticks) const {
@@ -43,6 +47,17 @@ std::string Params::describe() const {
       << ", churn=" << churn_rate << ", maxSybils=" << max_sybils
       << ", sybilThreshold=" << sybil_threshold
       << ", successors=" << num_successors;
+  // Appended only in streamed mode so every preallocated describe()
+  // string (embedded in goldens/baselines) stays byte-identical.
+  if (provisioning == TaskProvisioning::kStreamed) {
+    out << ", provisioning=streamed(arrival_ticks=";
+    if (arrival_ticks == 0) {
+      out << "auto";
+    } else {
+      out << arrival_ticks;
+    }
+    out << ")";
+  }
   return out.str();
 }
 

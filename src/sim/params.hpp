@@ -19,6 +19,18 @@ enum class WorkMeasure {
   kStrengthPerTick,  // a node completes `strength` tasks per tick
 };
 
+/// How the job's tasks enter the ring (DESIGN.md §0).
+enum class TaskProvisioning {
+  /// Legacy default: all total_tasks keys are drawn and assigned to
+  /// their owner arcs at tick 0 — O(total_tasks) resident from the
+  /// start.  Every pre-streaming golden/baseline was recorded here.
+  kPreallocated,
+  /// Streamed: a sim::TaskStream fixes a closed-form per-tick arrival
+  /// schedule and draws exact keys lazily on the tick they arrive, so
+  /// resident tasks track the backlog instead of the horizon.
+  kStreamed,
+};
+
 struct Params {
   /// Nodes alive at tick zero.  A pool of equally many waiting nodes is
   /// created alongside (§IV-A), so churn joins/leaves roughly balance.
@@ -61,6 +73,16 @@ struct Params {
   /// plausible runtime factor.  Runs hitting the cap report
   /// completed == false.
   std::uint64_t max_ticks = 0;
+
+  /// Task provisioning mode; kPreallocated keeps every pre-streaming
+  /// output byte-identical.
+  TaskProvisioning provisioning = TaskProvisioning::kPreallocated;
+
+  /// Streamed mode only: ticks over which the job arrives.  0 = auto,
+  /// which the engine resolves to the ideal runtime so the arrival rate
+  /// matches the initial capacity (bounded backlog).  Ignored in
+  /// preallocated mode.
+  std::uint64_t arrival_ticks = 0;
 
   /// Throws std::invalid_argument on out-of-domain values.
   void validate() const;

@@ -7,6 +7,12 @@
 // removes a uniformly random key (keeping the remaining set a uniform
 // sample of the arc), and splits partition in O(n) — cheap because splits
 // are rare relative to consumption.
+//
+// A store never knows *when* its keys were materialized: preallocated
+// runs fill every store at world construction, streamed runs
+// (sim/task_stream.hpp) add keys tick by tick as they arrive.  Both
+// modes meet the same exact-key semantics here — see DESIGN.md §0 for
+// the life of a tick and where arrivals land in it.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,65 @@
+#include "sim/task_stream.hpp"
+
+#include "hashing/sha1.hpp"
+#include "sim/world.hpp"  // kTickShards
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dhtlb::sim {
+
+namespace {
+
+// Balanced split of `total` over `cells`: cell i gets the quotient plus
+// one unit of the remainder iff i < total % cells.  Used twice — ticks
+// over the arrival window, then one tick's count over the shards — so
+// both levels of the schedule are closed-form.
+std::uint64_t cell_share(std::uint64_t total, std::uint64_t cells,
+                         std::uint64_t cell) {
+  return total / cells + (cell < total % cells ? 1 : 0);
+}
+
+}  // namespace
+
+TaskStream::TaskStream(std::uint64_t run_seed, std::uint64_t total_tasks,
+                       std::uint64_t arrival_ticks)
+    : run_seed_(run_seed), total_tasks_(total_tasks),
+      arrival_ticks_(arrival_ticks) {
+  DHTLB_CHECK(arrival_ticks_ >= 1,
+              "TaskStream: arrival_ticks must be >= 1");
+}
+
+std::uint64_t TaskStream::count_at(std::uint64_t tick) const {
+  if (tick == 0 || tick > arrival_ticks_) return 0;
+  return cell_share(total_tasks_, arrival_ticks_, tick - 1);
+}
+
+std::uint64_t TaskStream::cumulative(std::uint64_t tick) const {
+  if (tick >= arrival_ticks_) return total_tasks_;
+  // Ticks 1..tick: tick quotients plus one remainder unit for each of
+  // the first min(tick, total % arrival_ticks) ticks.
+  const std::uint64_t q = total_tasks_ / arrival_ticks_;
+  const std::uint64_t r = total_tasks_ % arrival_ticks_;
+  return tick * q + (tick < r ? tick : r);
+}
+
+std::uint64_t TaskStream::shard_count(std::uint64_t tick,
+                                      std::size_t shard) const {
+  return cell_share(count_at(tick), kTickShards, shard);
+}
+
+void TaskStream::draw_shard(std::uint64_t tick, std::size_t shard,
+                            std::vector<TaskKey>& out) const {
+  const std::uint64_t n = shard_count(tick, shard);
+  if (n == 0) return;
+  // Same derivation shape as the engine's churn/consume streams: per-tick
+  // root, then (phase, shard).  Keys are SHA-1 images of the raw draws,
+  // exactly like preallocated construction and scenario injection.
+  support::Rng rng(support::stream_seed(support::mix_seed(run_seed_, tick),
+                                        kStreamArrive, shard));
+  out.reserve(out.size() + n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(hashing::Sha1::hash_u64(rng()));
+  }
+}
+
+}  // namespace dhtlb::sim

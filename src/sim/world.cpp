@@ -81,6 +81,12 @@ World::World(const Params& params, support::Rng& rng)
   }
   ring_.finalize_bulk();
 
+  // Streamed provisioning: no tasks exist at tick 0 — the engine's
+  // TaskStream injects each tick's arrivals through inject_task(), which
+  // raises remaining_/total_tasks_ as they land.  The node-placement RNG
+  // sequence above is identical in both modes.
+  if (params_.provisioning == TaskProvisioning::kStreamed) return;
+
   // Assign SHA-1-keyed tasks to their owner arcs: owner of key k is the
   // first vnode clockwise at or after k.  Two passes over the keys —
   // first resolve every owner slot and count its bucket, then reserve

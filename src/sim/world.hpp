@@ -68,8 +68,12 @@ struct ArcView {
 class World {
  public:
   /// Builds the initial network: `initial_nodes` alive physical nodes
-  /// with SHA-1 IDs, an equal-size waiting pool, and `total_tasks`
-  /// SHA-1-keyed tasks assigned to their owner arcs.
+  /// with SHA-1 IDs and an equal-size waiting pool.  Task provisioning
+  /// depends on Params::provisioning (DESIGN.md §0): preallocated mode
+  /// additionally assigns `total_tasks` SHA-1-keyed tasks to their owner
+  /// arcs here; streamed mode starts the ring empty — the engine's
+  /// sim::TaskStream delivers each tick's arrivals through inject_task().
+  /// Node placement consumes the identical RNG sequence either way.
   World(const Params& params, support::Rng& rng);
 
   /// Lazy, allocation-free walk over up to k neighbor arcs of a vnode —
@@ -280,9 +284,10 @@ class World {
   void debit_remaining(std::uint64_t consumed);
 
   /// Adds one task with `key` to the vnode whose arc covers it — the
-  /// scenario engine's mid-run workload-injection primitive.  Raises
-  /// total_tasks() alongside remaining_tasks() so conservation stays
-  /// exact.
+  /// mid-run workload entry point shared by scenario injection events
+  /// and streamed provisioning (the engine folds each tick's TaskStream
+  /// arrivals through here; DESIGN.md §0).  Raises total_tasks()
+  /// alongside remaining_tasks() so conservation stays exact.
   void inject_task(const Uint160& key);
 
   // --- mutation: scenario re-parameterization -----------------------------

@@ -236,6 +236,37 @@ TEST(ScenarioParser, HotspotFractionOutOfRange) {
                "ring fraction must be in (0, 1]");
 }
 
+TEST(ScenarioParser, StreamedProvisioningKeys) {
+  const Script s = parse(
+      "name x\n"
+      "provisioning streamed\n"
+      "arrival-ticks 40\n"
+      "tasks 1000\n");
+  EXPECT_EQ(s.params.provisioning, sim::TaskProvisioning::kStreamed);
+  EXPECT_EQ(s.params.arrival_ticks, 40u);
+}
+
+TEST(ScenarioParser, ProvisioningDefaultsToPreallocated) {
+  const Script s = parse("name x\n");
+  EXPECT_EQ(s.params.provisioning, sim::TaskProvisioning::kPreallocated);
+  EXPECT_EQ(s.params.arrival_ticks, 0u);
+}
+
+TEST(ScenarioParser, UnknownProvisioningMode) {
+  expect_error("name x\nprovisioning eager\n", 2,
+               "expected preallocated or streamed");
+}
+
+TEST(ScenarioParser, ArrivalTicksRequiresStreamed) {
+  // Params::validate() rejects the combination at end-of-parse.
+  EXPECT_THROW(parse("name x\narrival-ticks 10\n"), ParseError);
+}
+
+TEST(ScenarioParser, ProvisioningIsSimOnly) {
+  expect_error("name x\nsubstrate chord\nticks 10\nprovisioning streamed\n",
+               4, "only applies to the sim substrate");
+}
+
 TEST(ScenarioParser, LoadMissingFileThrows) {
   EXPECT_THROW(Script::load("/nonexistent/path.scn"), std::runtime_error);
 }
