@@ -33,6 +33,7 @@ SMOKE_BINARIES=(
   tableF_future_work
   fig4_6_churn_histograms
   task_stream
+  fuzz_throughput
 )
 # Reduced trial counts keep the smoke run quick while still exercising
 # the batched trial fan.

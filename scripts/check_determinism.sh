@@ -187,6 +187,35 @@ else
   echo "check_determinism: note — $SERVE_BIN not built, skipping serve check"
 fi
 
+# Fuzzer determinism: the generator is a pure function of
+# (profile, seed) — two emit passes must produce byte-identical corpus
+# files — and a small audited batch must pass the runner's own
+# cross-thread telemetry comparison at 1 vs 4 workers (the runner exits
+# nonzero on any auditor failure or telemetry mismatch).
+FUZZ_BIN="$BUILD_DIR/examples/dhtlb_fuzz"
+if [[ -x "$FUZZ_BIN" ]]; then
+  for pass in a b; do
+    mkdir -p "$workdir/fuzz_emit_$pass"
+    echo "check_determinism: fuzz corpus emit (pass $pass)"
+    "$FUZZ_BIN" --profile mixed --seed "$DHTLB_SEED" --count 5 \
+      --emit-only --emit-dir "$workdir/fuzz_emit_$pass" --quiet > /dev/null
+  done
+  for scn in "$workdir"/fuzz_emit_a/*.scn; do
+    compare "$scn" "$workdir/fuzz_emit_b/$(basename "$scn")" \
+      "fuzz generator is not a pure function of (profile, seed)"
+  done
+  echo "check_determinism: fuzz batch (t1 vs t4, audited)"
+  if ! "$FUZZ_BIN" --profile mixed --seed "$DHTLB_SEED" --count 3 \
+      --audit --threads-matrix 1,4 --out-dir "$workdir/fuzz_run" \
+      --quiet > /dev/null; then
+    echo "check_determinism: FAIL — fuzz batch telemetry differs across threads (or audit failed); artifacts under $workdir/fuzz_run" >&2
+    ls "$workdir/fuzz_run" >&2 || true
+    fail=1
+  fi
+else
+  echo "check_determinism: note — $FUZZ_BIN not built, skipping fuzz check"
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

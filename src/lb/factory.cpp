@@ -5,6 +5,7 @@
 
 #include "lb/chosen_id.hpp"
 #include "lb/invitation.hpp"
+#include "lb/item_balance.hpp"
 #include "lb/neighbor_injection.hpp"
 #include "lb/random_injection.hpp"
 #include "lb/strength_aware.hpp"
@@ -33,6 +34,11 @@ std::unique_ptr<sim::Strategy> make_strategy(std::string_view name) {
   if (name == "chosen-id-global") {
     return std::make_unique<ChosenIdSplit>(ChosenIdSplit::Scope::kGlobal);
   }
+  // Non-Sybil neighbor-move family (Chawachat & Fakcharoenphol):
+  if (name == "item-balance") return std::make_unique<ItemBalance>(2);
+  if (name == "item-balance-conservative") {
+    return std::make_unique<ItemBalance>(4);
+  }
   throw std::invalid_argument("unknown strategy: " + std::string(name));
 }
 
@@ -46,7 +52,8 @@ std::vector<std::string_view> strategy_names() {
 }
 
 std::vector<std::string_view> extension_strategy_names() {
-  return {"strength-aware", "chosen-id-neighbor", "chosen-id-global"};
+  return {"strength-aware", "chosen-id-neighbor", "chosen-id-global",
+          "item-balance", "item-balance-conservative"};
 }
 
 }  // namespace dhtlb::lb

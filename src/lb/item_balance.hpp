@@ -1,0 +1,55 @@
+// Item balancing — the neighbor-move family (non-Sybil competitor).
+//
+// Chawachat & Fakcharoenphol, "A simpler load-balancing algorithm for
+// range-partitioned data in Peer-to-Peer systems" (PAPERS.md): each node
+// periodically compares its item count with its ring successor and, when
+// the ratio exceeds a constant threshold δ, moves the boundary between
+// the two ranges so both sides end up with half the combined items.
+// The paper proves a constant-factor imbalance bound with O(1) amortized
+// item movement — without creating any extra ring presence.
+//
+// Mapped onto this simulator: the boundary between a vnode and its
+// successor IS the vnode's own ID (it owns (pred, id]), so a boundary
+// adjustment is a vnode relocation (World::move_vnode).  Moving the ID
+// counterclockwise sheds the tail of the node's keys to the successor;
+// moving it clockwise into the successor's arc acquires that arc's head.
+// The exact split point comes from nth_task_key — the generalized form
+// of the chosen-ID median query — so the halving is exact on the key
+// multiset, not merely in expectation over the ID space.
+//
+// This is the structurally different mechanism the comparison tables
+// need: zero Sybils, zero extra vnodes, load moves by renegotiating one
+// range boundary per node per decision round.  Cost model: one workload
+// probe of the successor plus one key query per attempted move, counted
+// in workload_queries; successful moves count boundary_moves and the
+// keys shifted count tasks_moved.
+#pragma once
+
+#include <cstdint>
+
+#include "lb/common.hpp"
+#include "sim/strategy.hpp"
+
+namespace dhtlb::lb {
+
+class ItemBalance final : public sim::Strategy {
+ public:
+  /// `threshold` is the paper's δ: a move triggers when one side of a
+  /// boundary holds more than δ times the other side's items.  δ = 2 is
+  /// the aggressive setting (tightest balance, most movement); larger
+  /// values trade imbalance for fewer moved items.
+  explicit ItemBalance(std::uint64_t threshold) : threshold_(threshold) {}
+
+  std::string_view name() const override {
+    return threshold_ <= 2 ? "item-balance" : "item-balance-conservative";
+  }
+
+  void decide(sim::World& world, support::Rng& rng,
+              sim::StrategyCounters& counters) override;
+
+ private:
+  std::uint64_t threshold_;
+  std::vector<sim::NodeIndex> order_;  // reused visitation-order buffer
+};
+
+}  // namespace dhtlb::lb

@@ -228,6 +228,10 @@ Script Script::parse(std::string_view text, std::string_view filename) {
         }
         if (i < tokens.size() && tokens[i] == "until") {
           block.until = cur.parse_u64(tokens[i + 1], "until tick");
+          // 0 is the internal "open-ended" sentinel; accepting it here
+          // would silently stretch the block to the horizon instead of
+          // meaning "never fires" — reject rather than guess.
+          if (block.until == 0) cur.fail("until tick must be >= 1");
           i += 2;
         }
         if (i != tokens.size()) {

@@ -31,6 +31,8 @@ struct StrategyCounters {
   std::uint64_t invitations_sent = 0;
   std::uint64_t invitations_accepted = 0;
   std::uint64_t ranges_marked_invalid = 0;
+  std::uint64_t boundary_moves = 0;  // item-balance vnode relocations
+  std::uint64_t tasks_moved = 0;     // keys shifted by boundary moves
 };
 
 class Strategy {

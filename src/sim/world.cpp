@@ -193,20 +193,27 @@ ArcView World::arc_covering(const Uint160& point) const {
 
 std::optional<Uint160> World::median_task_key(const Uint160& vnode_id) const {
   const FlatRing::Cursor cursor = ring_.find(vnode_id);
+  const std::size_t count = ring_.tasks(ring_.slot_at(cursor)).size();
+  if (count == 0) return std::nullopt;
+  return nth_task_key(vnode_id, (count - 1) / 2);  // lower median
+}
+
+std::optional<Uint160> World::nth_task_key(const Uint160& vnode_id,
+                                           std::uint64_t n) const {
+  const FlatRing::Cursor cursor = ring_.find(vnode_id);
   const auto& keys = ring_.tasks(ring_.slot_at(cursor)).keys();
-  if (keys.empty()) return std::nullopt;
+  if (n >= keys.size()) return std::nullopt;
   // Order keys by clockwise distance from the arc start so wrapping
-  // arcs sort correctly, then take the lower median.
+  // arcs sort correctly, then select the n-th along the arc.
   const Uint160 start = ring_.id_at(ring_.prev(cursor));
   std::vector<Uint160> offsets;
   offsets.reserve(keys.size());
   for (const auto& k : keys) {
     offsets.push_back(support::clockwise_distance(start, k));
   }
-  const auto mid = offsets.begin() +
-                   static_cast<std::ptrdiff_t>((offsets.size() - 1) / 2);
-  std::nth_element(offsets.begin(), mid, offsets.end());
-  return start + *mid;
+  const auto nth = offsets.begin() + static_cast<std::ptrdiff_t>(n);
+  std::nth_element(offsets.begin(), nth, offsets.end());
+  return start + *nth;
 }
 
 const std::vector<TaskKey>& World::vnode_keys(const Uint160& vnode_id) const {
@@ -275,6 +282,53 @@ void World::remove_sybils(NodeIndex owner) {
     ids.pop_back();
     vnode_cache_[owner].pop_back();
   }
+}
+
+std::optional<std::uint64_t> World::move_vnode(const Uint160& old_id,
+                                               const Uint160& new_id) {
+  if (new_id == old_id || ring_.contains(new_id)) return std::nullopt;
+  if (ring_.size() < 2) return std::nullopt;  // alone: a move is a no-op
+  const FlatRing::Cursor cursor = ring_.find(old_id);
+  const Slot old_slot = ring_.slot_at(cursor);
+  const NodeIndex owner = ring_.owner(old_slot);
+  const bool is_sybil = ring_.is_sybil(old_slot);
+  const Uint160 pred = ring_.id_at(ring_.prev(cursor));
+  const Uint160 succ = ring_.id_at(ring_.next(cursor));
+  // The new position must sit strictly between the old neighbors so only
+  // the two arcs adjacent to old_id change hands.  With exactly two
+  // vnodes pred == succ and the eligible region is the whole ring minus
+  // that single point — in_open_arc already treats (a, a) that way.
+  if (!support::in_open_arc(new_id, pred, succ)) return std::nullopt;
+  const bool toward_pred = support::in_open_arc(new_id, pred, old_id);
+
+  // Insert-then-remove reuses the audited split/merge primitives:
+  //   shed (new_id counterclockwise of old_id): cover(new_id) is old_id
+  //     itself, so the insert splits our own arc at new_id (keys in
+  //     (pred, new_id] stay with the owner at the new vnode); removing
+  //     old_id then merges the remainder (new_id, old_id] into the old
+  //     successor — that remainder is what changed owner.
+  //   acquire (clockwise): the insert splits the successor's arc,
+  //     pulling (old_id, new_id] over to the owner; removing old_id
+  //     merges its untouched keys into the new vnode, a self-transfer.
+  const std::uint64_t acquired = insert_vnode(owner, new_id, is_sybil);
+  const std::uint64_t shed = ring_.tasks(old_slot).size();
+  remove_vnode(old_id);
+
+  // insert_vnode pushed the relocated vnode to the back of the owner's
+  // bookkeeping; splice it into old_id's position so a moved primary
+  // stays at vnode_ids[0] (sybil_count/home_shard depend on that).
+  auto& ids = physicals_[owner].vnode_ids;
+  auto& cache = vnode_cache_[owner];
+  for (std::size_t j = 0; j + 1 < ids.size(); ++j) {
+    if (ids[j] == old_id) {
+      ids[j] = ids.back();
+      cache[j] = cache.back();
+      break;
+    }
+  }
+  ids.pop_back();
+  cache.pop_back();
+  return toward_pred ? shed : acquired;
 }
 
 bool World::depart(NodeIndex idx) {

@@ -232,6 +232,14 @@ class World {
   /// it is correct for arcs that wrap through zero.
   std::optional<Uint160> median_task_key(const Uint160& vnode_id) const;
 
+  /// The n-th (0-based) remaining task key of a vnode in arc order
+  /// (clockwise from the arc's start) — the generalized form of
+  /// median_task_key used by the item-balance family to pick an exact
+  /// split point that keeps a chosen number of keys on one side.
+  /// Returns nullopt when the vnode holds fewer than n + 1 tasks.
+  std::optional<Uint160> nth_task_key(const Uint160& vnode_id,
+                                      std::uint64_t n) const;
+
   /// Read-only view of a vnode's remaining task keys (unordered).  For
   /// inspection, tests and reference-model comparison — strategies must
   /// not use it (it is more than a node could know about a peer).
@@ -248,6 +256,20 @@ class World {
   /// Removes all of `owner`'s Sybils; their tasks fall to their ring
   /// successors (exactly like graceful departures).
   void remove_sybils(NodeIndex owner);
+
+  /// Relocates the vnode at `old_id` to `new_id` — the neighbor-move
+  /// primitive of the item-balance family (Chawachat & Fakcharoenphol:
+  /// a node re-joins at a boundary point negotiated with a neighbor
+  /// instead of spawning Sybils).  `new_id` must lie strictly inside the
+  /// open arc (pred(old), succ(old)) so only the two adjacent arcs are
+  /// touched: moving counterclockwise sheds the keys in (new_id, old_id]
+  /// to the old successor; moving clockwise acquires (old_id, new_id]
+  /// from it.  Returns the number of keys that changed owner, or nullopt
+  /// when the move is impossible (collision, new_id outside the
+  /// neighbor arcs, or the vnode is alone in the ring).  Ownership,
+  /// aliveness and the Sybil flag are preserved.
+  std::optional<std::uint64_t> move_vnode(const Uint160& old_id,
+                                          const Uint160& new_id);
 
   /// An alive node (with all its Sybils) leaves the network and enters
   /// the waiting pool; its tasks fall to ring successors.  Refuses (and

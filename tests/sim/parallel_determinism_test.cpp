@@ -64,6 +64,9 @@ void expect_identical(const RunResult& a, const RunResult& b,
             b.strategy_counters.invitations_accepted);
   EXPECT_EQ(a.strategy_counters.ranges_marked_invalid,
             b.strategy_counters.ranges_marked_invalid);
+  EXPECT_EQ(a.strategy_counters.boundary_moves,
+            b.strategy_counters.boundary_moves);
+  EXPECT_EQ(a.strategy_counters.tasks_moved, b.strategy_counters.tasks_moved);
 
   // The work-per-tick series is the tick-by-tick trace of consumption:
   // any shard fold applied in the wrong order shows up here first.
